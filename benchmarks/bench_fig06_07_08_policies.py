@@ -1,0 +1,102 @@
+"""Figures 6, 7, 8 (§5.3.1): the four-policy simulation sweep.
+
+* Figure 6 — median response time (rt_p50) of *slow* queries vs traffic
+  rate.  Paper shape: Bouncer stays at/under the 18ms SLO; MaxQL plateaus
+  near ~40ms; MaxQWT plateaus near ~22ms; AcceptFraction grows unboundedly.
+* Figure 7 — system utilization vs traffic rate.  All policies approach
+  100% except AcceptFraction, capped by its 95% threshold.
+* Figure 8 — overall rejection percentage vs traffic rate.  Bouncer lowest;
+  AcceptFraction highest.
+
+One shared sweep: 4 policies x 13 traffic factors (0.9x..1.5x of
+QPS_full_load, P = 100, Table 1 mix, Table 2 parameters).
+"""
+
+from repro.bench import (TRAFFIC_FACTORS, format_series,
+                         publish, simulation_policy_lineup)
+
+LINEUP = simulation_policy_lineup()
+
+
+def _sweep(runs):
+    """All (policy name -> list of reports over TRAFFIC_FACTORS)."""
+    results = {}
+    for idx, (name, _) in enumerate(LINEUP):
+        builder = lambda i=idx: LINEUP[i][1]
+        results[name] = [runs.sim(name, builder, factor)
+                         for factor in TRAFFIC_FACTORS]
+    return results
+
+
+def test_fig06_slow_query_median_response_time(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {
+            name: [report.response_percentile("slow", 50.0) * 1000
+                   for report in reports]
+            for name, reports in sweep.items()
+        }
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("fig06_slow_rt_p50", format_series(
+        "Figure 6: rt_p50 (ms) of 'slow' queries vs load factor "
+        "(SLO_p50 = 18ms)",
+        "load", [f"{f:.2f}x" for f in TRAFFIC_FACTORS],
+        [(name, [f"{v:.2f}" for v in values])
+         for name, values in series.items()]))
+
+    # Shape checks: Bouncer honours the SLO at overload; the others do not.
+    overload = TRAFFIC_FACTORS.index(1.2)
+    bouncer_tail = [v for v in series["Bouncer"][overload:] if v > 0]
+    assert all(v <= 18.0 * 1.1 for v in bouncer_tail)
+    assert series["MaxQL"][-1] > 18.0
+    assert series["AcceptFraction"][-1] > series["MaxQWT"][-1]
+
+
+def test_fig07_system_utilization(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {name: [report.utilization for report in reports]
+                for name, reports in sweep.items()}
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("fig07_utilization", format_series(
+        "Figure 7: system utilization vs load factor",
+        "load", [f"{f:.2f}x" for f in TRAFFIC_FACTORS],
+        [(name, [f"{v:.3f}" for v in values])
+         for name, values in series.items()]))
+
+    # At and beyond full load, everything but AcceptFraction nears 100%;
+    # AcceptFraction is pinned near its 95% threshold (averaged over the
+    # overload factors to shrug off per-run noise).
+    at_full = TRAFFIC_FACTORS.index(1.2)
+    for name in ("Bouncer", "MaxQL", "MaxQWT"):
+        assert series[name][at_full] > 0.93, name
+    overload = slice(TRAFFIC_FACTORS.index(1.1), None)
+    af_mean = sum(series["AcceptFraction"][overload]) / len(
+        series["AcceptFraction"][overload])
+    maxql_mean = sum(series["MaxQL"][overload]) / len(
+        series["MaxQL"][overload])
+    assert af_mean < 0.99
+    assert af_mean < maxql_mean
+
+
+def test_fig08_overall_rejections(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {name: [report.rejection_pct() for report in reports]
+                for name, reports in sweep.items()}
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("fig08_overall_rejections", format_series(
+        "Figure 8: overall rejection percentage vs load factor",
+        "load", [f"{f:.2f}x" for f in TRAFFIC_FACTORS],
+        [(name, [f"{v:.2f}" for v in values])
+         for name, values in series.items()]))
+
+    # Bouncer rejects the least at overload; AcceptFraction the most.
+    for name in ("MaxQL", "MaxQWT", "AcceptFraction"):
+        assert series["Bouncer"][-1] < series[name][-1], name
+    # Rejections grow with load for every policy.
+    for name, values in series.items():
+        assert values[-1] >= values[0]

@@ -1,0 +1,154 @@
+"""Figures 11, 12, 13 (§5.4): the LIquid cluster study.
+
+Five broker policies over five rates on the scaled-down broker/shard
+cluster model (shards always run AcceptFraction at 80% max utilization,
+queue cap 800 everywhere, SLO p50 = 18ms / p90 = 50ms on QT1..QT11).
+Rates are 1/4 of the paper's cluster rates; labels show the equivalents.
+
+Paper shapes reproduced:
+
+* Figure 11 — overall rejections grow with load; Bouncer variants reject
+  ~15-30% less than MaxQL/MaxQWT/AcceptFraction; brokers (not shards)
+  produce the vast majority of rejections.
+* Figure 12a/12b — Bouncer variants and MaxQWT keep QT11's rt_p50/rt_p90
+  near the SLO; MaxQL and AcceptFraction exceed it several-fold at high
+  rates; helping-the-underserved slightly exceeds SLO_p50 at the top rates
+  while acceptance-allowance stays under.
+* Figure 13 — QT11's broker-observed pt_p50 rises with load; under Bouncer
+  rt_p50 tracks it within the SLO, under MaxQWT rt departs by the wait
+  limit.
+"""
+
+from repro.bench import (CLUSTER_RATES_SCALED, CLUSTER_SCALE,
+                         cluster_policy_lineup, format_series, publish)
+
+LINEUP = cluster_policy_lineup()
+RATE_LABELS = [f"{r * CLUSTER_SCALE // 1000}K" for r in CLUSTER_RATES_SCALED]
+
+
+def _sweep(runs):
+    results = {}
+    for idx, (name, _) in enumerate(LINEUP):
+        builder = lambda i=idx: LINEUP[i][1]
+        results[name] = [runs.cluster(name, builder, rate)
+                         for rate in CLUSTER_RATES_SCALED]
+    return results
+
+
+def test_fig11_overall_rejections(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {name: [report.rejection_pct() for report in reports]
+                for name, reports in sweep.items()}
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("fig11_liquid_rejections", format_series(
+        "Figure 11: overall rejection % on the LIquid cluster model "
+        "(cluster-equivalent QPS)",
+        "rate", RATE_LABELS,
+        [(name, [f"{v:.2f}" for v in values])
+         for name, values in series.items()]))
+
+    top = -1
+    # Bouncer variants reject the least at high load.
+    for bouncer in ("Bouncer+AA", "Bouncer+HU"):
+        for other in ("MaxQL", "MaxQWT", "AcceptFraction"):
+            assert series[bouncer][top] < series[other][top], (bouncer,
+                                                               other)
+    # Low rates see (almost) no rejections, as in the paper.
+    for name, values in series.items():
+        assert values[0] < 2.0, name
+
+
+def test_fig11_brokers_produce_most_rejections(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {
+            name: (sum(r.broker_rejections for r in reports),
+                   sum(r.shard_rejections for r in reports))
+            for name, reports in sweep.items()
+        }
+
+    split = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [(name, broker, shard) for name, (broker, shard) in
+            split.items()]
+    publish("fig11_rejection_attribution", "\n".join(
+        f"{name:<16} broker={broker:<8} shard={shard}"
+        for name, broker, shard in rows))
+    for name, (broker, shard) in split.items():
+        if broker + shard:
+            assert broker >= 0.9 * (broker + shard), name
+
+
+def test_fig12_qt11_response_times(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {
+            name: (
+                [r.response_percentile("QT11", 50.0) * 1000
+                 for r in reports],
+                [r.response_percentile("QT11", 90.0) * 1000
+                 for r in reports],
+            )
+            for name, reports in sweep.items()
+        }
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = "\n\n".join([
+        format_series(
+            "Figure 12a: rt_p50 (ms) of serviced QT11 queries "
+            "(SLO_p50 = 18ms)",
+            "rate", RATE_LABELS,
+            [(name, [f"{v:.2f}" for v in p50s])
+             for name, (p50s, _) in series.items()]),
+        format_series(
+            "Figure 12b: rt_p90 (ms) of serviced QT11 queries "
+            "(SLO_p90 = 50ms)",
+            "rate", RATE_LABELS,
+            [(name, [f"{v:.2f}" for v in p90s])
+             for name, (_, p90s) in series.items()]),
+    ])
+    publish("fig12_qt11_response_times", text)
+
+    # Bouncer+AA keeps QT11 at/under SLO_p50 and comfortably under SLO_p90.
+    aa_p50, aa_p90 = series["Bouncer+AA"]
+    assert all(v <= 18.0 * 1.1 for v in aa_p50)
+    assert all(v <= 50.0 for v in aa_p90)
+    # MaxQL and AcceptFraction exceed SLO_p50 several-fold at high rates.
+    for name in ("MaxQL", "AcceptFraction"):
+        p50s, p90s = series[name]
+        assert p50s[-1] > 18.0 * 3
+        assert p90s[-1] > 50.0
+    # MaxQWT exceeds SLO_p50 at the top rates (the paper's Fig. 12a).
+    assert series["MaxQWT"][0][-1] > 18.0
+
+
+def test_fig13_processing_vs_response(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        out = {}
+        for name in ("Bouncer+AA", "Bouncer+HU", "MaxQWT"):
+            reports = sweep[name]
+            out[name] = (
+                [r.processing_percentile("QT11", 50.0) * 1000
+                 for r in reports],
+                [r.response_percentile("QT11", 50.0) * 1000
+                 for r in reports],
+            )
+        return out
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    columns = []
+    for name, (pts, rts) in series.items():
+        columns.append((f"{name} pt_p50", [f"{v:.2f}" for v in pts]))
+        columns.append((f"{name} rt_p50", [f"{v:.2f}" for v in rts]))
+    publish("fig13_qt11_pt_vs_rt", format_series(
+        "Figure 13: QT11 broker-observed pt_p50 vs rt_p50 (ms)",
+        "rate", RATE_LABELS, columns))
+
+    # Processing time rises with load (the real-system effect).
+    for name, (pts, _) in series.items():
+        assert pts[-1] > pts[0] * 1.2, name
+    # Under MaxQWT, rt departs from pt by (up to) the wait limit.
+    qwt_pts, qwt_rts = series["MaxQWT"]
+    assert qwt_rts[-1] - qwt_pts[-1] > 5.0

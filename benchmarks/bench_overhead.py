@@ -1,0 +1,81 @@
+"""Policy decision overhead (§5.4's 18µs result).
+
+The paper reports Bouncer's per-decision overhead at mean = 18µs,
+p50 = 15µs, p99 = 87µs on its C++ LIquid brokers — "small ... for
+millisecond-scale queries".  This bench measures our Python policies'
+``decide()`` with realistic warm state (populated histograms, an occupied
+queue, eleven query types).  The absolute number differs by the
+Python-vs-C++ constant; the claim under test is that a decision costs
+microseconds, three orders of magnitude below millisecond-scale queries.
+
+Unlike the other modules, this one uses pytest-benchmark's statistical
+timing (that is the entire point of the artifact).
+"""
+
+import itertools
+
+from repro.bench import cluster_slos, make_accept_fraction, make_bouncer, \
+    make_bouncer_aa, make_maxql, make_maxqwt, publish
+from repro.core import HostContext, ManualClock, QueueView
+from repro.core.types import Query
+
+QTYPES = [f"QT{i}" for i in range(1, 12)]
+
+
+def warm_policy(factory):
+    """Build a policy with populated histograms and a busy queue."""
+    clock = ManualClock()
+    queue = QueueView()
+    ctx = HostContext(clock=clock, queue=queue, parallelism=32)
+    policy = factory(ctx)
+    # Teach it a realistic latency spread per type.
+    for round_idx in range(3):
+        for idx, qtype in enumerate(QTYPES):
+            for sample in range(40):
+                policy.on_completed(Query(qtype=qtype), 0.0,
+                                    0.0005 * (idx + 1) * (1 + sample % 3))
+        clock.advance(1.0)
+    # A queue with a realistic mix in it.
+    for qtype, _ in zip(itertools.cycle(QTYPES), range(64)):
+        queue.on_enqueue(qtype)
+    return policy, clock
+
+
+def _bench_decide(benchmark, factory, name):
+    policy, clock = warm_policy(factory)
+    types = itertools.cycle(QTYPES)
+
+    def decide():
+        policy.decide(Query(qtype=next(types)))
+
+    benchmark(decide)
+    mean_us = benchmark.stats.stats.mean * 1e6
+    publish(f"overhead_{name}",
+            f"{name}.decide() mean overhead: {mean_us:.1f} us "
+            f"(paper reports 18 us mean for its C++ implementation; the "
+            f"claim is microsecond-scale vs millisecond-scale queries)")
+    # Three orders of magnitude under a 10ms query: stay below 500us even
+    # on slow CI machines.
+    assert mean_us < 500.0
+
+
+def test_overhead_bouncer(benchmark):
+    _bench_decide(benchmark, make_bouncer(slos=cluster_slos()), "bouncer")
+
+
+def test_overhead_bouncer_with_allowance(benchmark):
+    _bench_decide(benchmark, make_bouncer_aa(slos=cluster_slos()),
+                  "bouncer_aa")
+
+
+def test_overhead_maxql(benchmark):
+    _bench_decide(benchmark, make_maxql(limit=800), "maxql")
+
+
+def test_overhead_maxqwt(benchmark):
+    _bench_decide(benchmark, make_maxqwt(limit=0.012), "maxqwt")
+
+
+def test_overhead_accept_fraction(benchmark):
+    _bench_decide(benchmark, make_accept_fraction(max_utilization=0.8),
+                  "accept_fraction")

@@ -1,0 +1,101 @@
+"""Future-work experiment (§7): Bouncer vs related-work policies.
+
+The paper compares Bouncer against LinkedIn's in-house policies and lists
+"evaluating Bouncer against other policies in the literature" as future
+work.  This bench runs that comparison on the §5.3 setup against our
+re-creations of:
+
+* Gatekeeper (Elnikety et al. 2004) — capacity-centric, type-aware moving
+  averages.  Expectation: protects the server (bounded waits) but, having
+  no percentile objectives, lets response-time SLOs drift and sheds more
+  of the cheap traffic than Bouncer does.
+* Q-Cop (Tozer et al. 2010) — mix-aware processing-time prediction against
+  a client timeout.  Expectation: few client timeouts, but percentile SLOs
+  tighter than the timeout are not enforced.
+"""
+
+from repro.bench import (TRAFFIC_FACTORS, format_series, make_bouncer,
+                         publish)
+from repro.core import (GatekeeperConfig, GatekeeperPolicy, QCopConfig,
+                        QCopPolicy)
+
+#: Gatekeeper's capacity: ~2.5 mean queries of backlog per process keeps
+#: its admitted waits in the same regime as the SLO policies.
+GK_OUTSTANDING = 0.030
+#: Q-Cop's client timeout: the SLO_p90 target.
+QCOP_TIMEOUT = 0.050
+
+VARIANTS = (
+    ("Bouncer", "Bouncer", make_bouncer),
+    ("Gatekeeper", "rw-gatekeeper",
+     lambda: (lambda ctx: GatekeeperPolicy(
+         ctx, GatekeeperConfig(max_outstanding_time=GK_OUTSTANDING)))),
+    ("Q-Cop (online)", "rw-qcop",
+     lambda: (lambda ctx: QCopPolicy(
+         ctx, QCopConfig(timeout=QCOP_TIMEOUT, learning_rate=0.2)))),
+)
+
+
+def _sweep(runs):
+    return {
+        label: [runs.sim(key, builder, factor)
+                for factor in TRAFFIC_FACTORS]
+        for label, key, builder in VARIANTS
+    }
+
+
+def test_related_slow_response_time(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {label: [r.response_percentile("slow", 50.0) * 1000
+                        for r in reports]
+                for label, reports in sweep.items()}
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("related_slow_rt_p50", format_series(
+        "Related work: rt_p50 (ms) of 'slow' queries (SLO_p50 = 18ms)",
+        "load", [f"{f:.2f}x" for f in TRAFFIC_FACTORS],
+        [(label, [f"{v:.2f}" for v in values])
+         for label, values in series.items()]))
+
+    # Bouncer enforces the SLO; the capacity/timeout-centric policies let
+    # the slow type exceed SLO_p50 at overload (their goals differ).
+    others_tail = [series["Gatekeeper"][-1], series["Q-Cop (online)"][-1]]
+    assert any(v > 18.0 for v in others_tail)
+
+
+def test_related_overall_rejections(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {label: [r.rejection_pct() for r in reports]
+                for label, reports in sweep.items()}
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("related_overall_rejections", format_series(
+        "Related work: overall rejection % vs load factor",
+        "load", [f"{f:.2f}x" for f in TRAFFIC_FACTORS],
+        [(label, [f"{v:.2f}" for v in values])
+         for label, values in series.items()]))
+
+    # Every policy sheds under overload; Bouncer sheds the least because
+    # it targets only the types whose SLOs are at risk.
+    for label, values in series.items():
+        assert values[-1] > 0.0, label
+    assert series["Bouncer"][-1] <= min(series["Gatekeeper"][-1],
+                                        series["Q-Cop (online)"][-1]) + 1.0
+
+
+def test_related_fast_queries_spared_only_by_bouncer(benchmark, runs):
+    def build():
+        sweep = _sweep(runs)
+        return {label: [r.rejection_pct("fast") for r in reports]
+                for label, reports in sweep.items()}
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("related_fast_rejections", format_series(
+        "Related work: rejection % of 'fast' queries vs load factor",
+        "load", [f"{f:.2f}x" for f in TRAFFIC_FACTORS],
+        [(label, [f"{v:.2f}" for v in values])
+         for label, values in series.items()]))
+
+    assert all(v == 0.0 for v in series["Bouncer"])

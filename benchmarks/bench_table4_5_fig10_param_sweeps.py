@@ -1,0 +1,123 @@
+"""Tables 4, 5 and Figure 10 (§5.3.3): strategy parameter sweeps at 1.5x.
+
+* Table 4 — acceptance-allowance with A in {0.01..0.1, 0.2, 0.3}.  Paper
+  shape: slow rejections stay below the enforced (1 - A) ceiling and fall
+  as A grows; medium_slow rejections rise; overall rejections creep up
+  (11.4% -> 13.4%).
+* Table 5 — helping-the-underserved with alpha in {0.1..1.0}.  Slow
+  rejections fall with alpha but usually exceed (1 - p_max); the strategy
+  is less predictable than the allowance (the paper's §5.3.3 point).
+* Figure 10 — rt_p50 of slow queries vs A and alpha: nearly flat, slightly
+  above SLO_p50.
+"""
+
+from repro.bench import (format_series, format_table, make_bouncer_aa,
+                         make_bouncer_hu, publish)
+
+FACTOR = 1.5
+ALLOWANCES = (0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1,
+              0.2, 0.3)
+ALPHAS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+QUERY_TYPES = ("fast", "medium_fast", "medium_slow", "slow")
+
+
+def _aa_reports(runs):
+    return {a: runs.sim(f"t4-aa-{a}",
+                        lambda a=a: make_bouncer_aa(allowance=a), FACTOR)
+            for a in ALLOWANCES}
+
+
+def _hu_reports(runs):
+    return {alpha: runs.sim(f"t5-hu-{alpha}",
+                            lambda alpha=alpha: make_bouncer_hu(alpha=alpha),
+                            FACTOR)
+            for alpha in ALPHAS}
+
+
+def test_table4_allowance_sweep(benchmark, runs):
+    def build():
+        reports = _aa_reports(runs)
+        return {
+            qtype: [reports[a].rejection_pct(None if qtype == "ALL"
+                                             else qtype)
+                    for a in ALLOWANCES]
+            for qtype in QUERY_TYPES + ("ALL",)
+        }
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("table4_allowance_sweep", format_table(
+        ["query type"] + [f"A={a:g}" for a in ALLOWANCES],
+        [[qtype] + [f"{v:.2f}" for v in values]
+         for qtype, values in table.items()],
+        title="Table 4: rejection % under acceptance-allowance at "
+              "1.5x load"))
+
+    assert all(v == 0.0 for v in table["fast"])
+    assert all(v == 0.0 for v in table["medium_fast"])
+    # Slow rejections never exceed the enforced ceiling (1 - A) by much,
+    # and decrease as A grows.
+    for a, rejected in zip(ALLOWANCES, table["slow"]):
+        assert rejected <= (1 - a) * 100 + 2.0, a
+    assert table["slow"][0] > table["slow"][-1]
+    # Rejections shift to medium_slow as A grows.
+    assert table["medium_slow"][-1] > table["medium_slow"][0]
+
+
+def test_table5_alpha_sweep(benchmark, runs):
+    def build():
+        reports = _hu_reports(runs)
+        return {
+            qtype: [reports[alpha].rejection_pct(None if qtype == "ALL"
+                                                 else qtype)
+                    for alpha in ALPHAS]
+            for qtype in QUERY_TYPES + ("ALL",)
+        }
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    publish("table5_alpha_sweep", format_table(
+        ["query type"] + [f"a={alpha:g}" for alpha in ALPHAS],
+        [[qtype] + [f"{v:.2f}" for v in values]
+         for qtype, values in table.items()],
+        title="Table 5: rejection % under helping-the-underserved at "
+              "1.5x load"))
+
+    assert all(v == 0.0 for v in table["fast"])
+    assert all(v == 0.0 for v in table["medium_fast"])
+    # Higher alpha -> fewer slow rejections, more medium_slow rejections.
+    assert table["slow"][0] > table["slow"][-1]
+    assert table["medium_slow"][-1] > table["medium_slow"][0]
+
+
+def test_fig10_response_time_vs_parameters(benchmark, runs):
+    def build():
+        aa = _aa_reports(runs)
+        hu = _hu_reports(runs)
+        return (
+            [aa[a].response_percentile("slow", 50.0) * 1000
+             for a in ALLOWANCES],
+            [hu[alpha].response_percentile("slow", 50.0) * 1000
+             for alpha in ALPHAS],
+        )
+
+    aa_series, hu_series = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = "\n\n".join([
+        format_series(
+            "Figure 10a: rt_p50 (ms) of 'slow' queries vs allowance A "
+            "(1.5x load, SLO_p50 = 18ms)",
+            "A", [f"{a:g}" for a in ALLOWANCES],
+            [("Bouncer+AA", [f"{v:.2f}" for v in aa_series])]),
+        format_series(
+            "Figure 10b: rt_p50 (ms) of 'slow' queries vs alpha "
+            "(1.5x load, SLO_p50 = 18ms)",
+            "alpha", [f"{alpha:g}" for alpha in ALPHAS],
+            [("Bouncer+HU", [f"{v:.2f}" for v in hu_series])]),
+    ])
+    publish("fig10_slow_rt_vs_parameters", text)
+
+    # The paper: rt_p50 sits a little above the 18ms SLO and grows only
+    # slowly with the parameter.  The smallest-A point admits very few
+    # slow queries and is therefore noisy; judge flatness without it.
+    assert all(14.0 <= v <= 30.0 for v in aa_series + hu_series)
+    stable_aa = aa_series[1:]
+    assert max(stable_aa) / min(stable_aa) < 1.4
+    assert max(hu_series) / min(hu_series) < 1.4

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Replica failover on early rejections (paper §5.1 + §2), live.
+
+Two replica graph-database servers sit behind a
+:class:`~repro.runtime.replicas.ReplicaClient`.  One replica's Bouncer is
+fed a tight SLO and pre-trained histograms so it sheds the expensive query
+type; the client fails over to the second replica *within the same
+request* — possible only because rejections arrive immediately instead of
+after a deadline's worth of waiting.
+
+Also demonstrates Appendix A's pre-populated-histogram deployment
+(``export_state``/``import_state``) and the continuous update feed keeping
+replicas in sync.
+
+Run:  python examples/replicated_service.py
+"""
+
+import random
+
+from repro import (BouncerConfig, BouncerPolicy, LatencySLO, ManualClock,
+                   Query, SLORegistry)
+from repro.core import HostContext, QueueView
+from repro.liquid import (DistanceQuery, EdgeQuery, EdgeUpdate,
+                          LiquidService, UpdatePipeline)
+from repro.runtime import AdmissionServer, ReplicaClient
+
+LABEL = "knows"
+RULE_TYPES = ("edge", "distance")
+
+
+def build_service(seed: int) -> LiquidService:
+    service = LiquidService(num_shards=2)
+    rng = random.Random(seed)
+    for _ in range(20_000):
+        src, dst = f"v{rng.randrange(2000)}", f"v{rng.randrange(2000)}"
+        if src != dst:
+            service.add_edge(src, LABEL, dst)
+    return service
+
+
+def pretrained_state() -> dict:
+    """Appendix A: capture histograms from a 'previous installation'.
+
+    We synthesize the previous installation in-process: a throwaway
+    Bouncer that observed distance queries taking far longer than the
+    tight SLO the strict replica will enforce.
+    """
+    clock = ManualClock()
+    ctx = HostContext(clock=clock, queue=QueueView(), parallelism=4)
+    donor = BouncerPolicy(ctx, BouncerConfig(
+        slos=SLORegistry.uniform(LatencySLO.from_ms(p50=5, p90=20),
+                                 RULE_TYPES),
+        min_samples=1, retain_min_samples=1, bootstrap_samples=0))
+    for _ in range(200):
+        donor.on_completed(Query(qtype="edge"), 0.0, 0.0004)
+        donor.on_completed(Query(qtype="distance"), 0.0, 0.030)
+    clock.advance(1.0)
+    donor.processing_snapshot("edge")
+    donor.processing_snapshot("distance")
+    return donor.export_state()
+
+
+def main() -> None:
+    print("building two replicas ...")
+    primary_service = build_service(seed=1)
+    standby_service = build_service(seed=1)
+
+    # Keep both replicas current through the shared update feed.
+    feeds = [UpdatePipeline(primary_service),
+             UpdatePipeline(standby_service)]
+    for feed in feeds:
+        feed.publish_all([EdgeUpdate.add("v0", LABEL, f"fresh{i}")
+                          for i in range(3)])
+        feed.drain()
+    print(f"  update feed applied; v0 now has "
+          f"{len(primary_service.execute(EdgeQuery('v0', LABEL)).value)} "
+          f"neighbors on both replicas")
+
+    # The strict replica rejects distance queries out of the gate thanks
+    # to imported histograms + a 5ms p50 SLO they cannot meet.
+    strict_slos = SLORegistry.uniform(LatencySLO.from_ms(p50=5, p90=20),
+                                      RULE_TYPES)
+    lenient_slos = SLORegistry.uniform(LatencySLO.from_ms(p50=200, p90=800),
+                                       RULE_TYPES)
+    state = pretrained_state()
+
+    def strict_factory(ctx):
+        policy = BouncerPolicy(ctx, BouncerConfig(
+            slos=strict_slos, min_samples=1, bootstrap_samples=0))
+        policy.import_state(state)   # Appendix A warm deployment
+        return policy
+
+    def lenient_factory(ctx):
+        return BouncerPolicy(ctx, BouncerConfig(slos=lenient_slos))
+
+    strict = AdmissionServer(strict_factory,
+                             lambda q: primary_service.execute(q.payload),
+                             workers=2)
+    lenient = AdmissionServer(lenient_factory,
+                              lambda q: standby_service.execute(q.payload),
+                              workers=2)
+    with strict, lenient:
+        client = ReplicaClient([strict, lenient], jitter_seed=0)
+        rng = random.Random(7)
+        for _ in range(60):
+            if rng.random() < 0.7:
+                query = Query(qtype="edge",
+                              payload=EdgeQuery(f"v{rng.randrange(2000)}",
+                                                LABEL))
+            else:
+                query = Query(
+                    qtype="distance",
+                    payload=DistanceQuery(f"v{rng.randrange(2000)}",
+                                          f"v{rng.randrange(2000)}",
+                                          LABEL, max_hops=4))
+            client.execute(query)
+
+        stats = client.stats
+        print(f"\nsubmitted {stats.submitted} queries:")
+        print(f"  served by strict replica : {stats.per_replica[0]}")
+        print(f"  served by lenient replica: {stats.per_replica[1]}")
+        print(f"  failovers (early rejection -> next replica): "
+              f"{stats.failovers}")
+        print(f"  strict replica rejected "
+              f"{strict.policy.stats.for_type('distance').rejected} "
+              f"distance queries on imported-histogram estimates alone")
+
+    print("\nBecause rejections are early, each failover costs "
+          "microseconds — the client never waits out a deadline (the "
+          "paper's §2 argument).")
+
+
+if __name__ == "__main__":
+    main()

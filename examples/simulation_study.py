@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §5.3 simulation study at the command line.
+
+Sweeps Bouncer (with and without starvation avoidance) and the three
+baseline policies over the Table 1 workload at the traffic factors you
+request, printing per-policy SLO compliance, rejections, and utilization —
+a compact, interactive version of the full benchmark harness.
+
+Run:  python examples/simulation_study.py [--factors 1.0,1.2,1.5]
+                                          [--queries 30000]
+"""
+
+import argparse
+
+from repro.bench import (make_accept_fraction, make_bouncer, make_bouncer_aa,
+                         make_bouncer_hu, make_maxql, make_maxqwt,
+                         simulation_mix)
+from repro.sim import run_simulation
+
+SLO_P50_MS = 18.0
+SLO_P90_MS = 50.0
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--factors", default="1.0,1.2,1.5",
+                        help="comma-separated multiples of QPS_full_load")
+    parser.add_argument("--queries", type=int, default=30_000,
+                        help="measured queries per run")
+    parser.add_argument("--parallelism", type=int, default=100,
+                        help="engine processes on the host (paper: 100)")
+    parser.add_argument("--seed", type=int, default=11)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    factors = [float(f) for f in args.factors.split(",")]
+    mix = simulation_mix()
+    full_load = mix.full_load_qps(args.parallelism)
+    print(f"Table 1 mix; weighted mean pt = "
+          f"{mix.weighted_mean_pt * 1000:.3f}ms; QPS_full_load = "
+          f"{full_load:,.0f} (P = {args.parallelism})")
+
+    lineup = [
+        ("Bouncer", make_bouncer()),
+        ("Bouncer+AA(0.05)", make_bouncer_aa(allowance=0.05)),
+        ("Bouncer+HU(1.0)", make_bouncer_hu(alpha=1.0)),
+        ("MaxQL(400)", make_maxql(limit=400)),
+        ("MaxQWT(15ms)", make_maxqwt(limit=0.015)),
+        ("AcceptFraction(95%)", make_accept_fraction(max_utilization=0.95)),
+    ]
+
+    for factor in factors:
+        rate = factor * full_load
+        print(f"\n=== load {factor:.2f}x ({rate:,.0f} qps) ===")
+        print(f"{'policy':<20} {'util':>6} {'rej%':>7} "
+              f"{'slow rt_p50':>12} {'slow rt_p90':>12}  SLO")
+        for name, factory in lineup:
+            report = run_simulation(mix, factory, rate_qps=rate,
+                                    num_queries=args.queries,
+                                    parallelism=args.parallelism,
+                                    seed=args.seed)
+            slow = report.stats_for("slow")
+            p50 = slow.response.get(50.0, 0.0) * 1000
+            p90 = slow.response.get(90.0, 0.0) * 1000
+            if slow.completed == 0:
+                verdict = "(all rejected)"
+            elif p50 <= SLO_P50_MS and p90 <= SLO_P90_MS:
+                verdict = "met"
+            else:
+                verdict = "VIOLATED"
+            print(f"{name:<20} {report.utilization:>6.1%} "
+                  f"{report.rejection_pct():>6.2f}% "
+                  f"{p50:>10.2f}ms {p90:>10.2f}ms  {verdict}")
+
+    print("\nExpected shape (paper §5.3): Bouncer variants meet or track "
+          "the SLO with the fewest rejections; MaxQL/AcceptFraction "
+          "violate it under overload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+"""repro — a full reproduction of *Bouncer: Admission Control with Response
+Time Objectives for Low-latency Online Data Systems* (SIGMOD 2024).
+
+The package provides:
+
+* :mod:`repro.core` — the Bouncer policy, its starvation-avoidance
+  strategies, the baseline policies (MaxQL, MaxQWT, AcceptFraction), and the
+  shared measurement machinery (histograms, sliding windows, SLOs).
+* :mod:`repro.sim` — the discrete event simulator and single-host study
+  harness (paper §5.3).
+* :mod:`repro.liquid` — a LIquid-style in-memory distributed graph database
+  substrate: a real sharded store plus an event-driven broker/shard cluster
+  model (paper §5.1 and §5.4).
+* :mod:`repro.runtime` — a real (wall-clock, threaded) admission-controlled
+  server and an open-loop load generator.
+* :mod:`repro.bench` — the experiment configurations and formatting used by
+  the benchmark harness that regenerates every table and figure.
+
+Quickstart::
+
+    from repro import (BouncerConfig, BouncerPolicy, LatencySLO,
+                       QueryTypeSpec, SLORegistry, WorkloadMix,
+                       run_simulation)
+
+    mix = WorkloadMix([
+        QueryTypeSpec.from_mean_median("fast", 0.7, mean=0.002, median=0.001),
+        QueryTypeSpec.from_mean_median("slow", 0.3, mean=0.020, median=0.012),
+    ])
+    slos = SLORegistry.uniform(LatencySLO.from_ms(p50=18, p90=50),
+                               mix.type_names)
+    report = run_simulation(
+        mix,
+        lambda ctx: BouncerPolicy(ctx, BouncerConfig(slos=slos)),
+        rate_qps=1.2 * mix.full_load_qps(100),
+        num_queries=50_000,
+    )
+    print(report)
+"""
+
+from .core import (DECISION_ALL, DECISION_ANY, DEFAULT_QUERY_TYPE,
+                   AcceptanceAllowancePolicy, AcceptFractionConfig,
+                   AcceptFractionPolicy, AdmissionPolicy, AdmissionResult,
+                   AlwaysAcceptPolicy, AlwaysRejectPolicy, BouncerConfig,
+                   BouncerEstimate, BouncerPolicy, BucketLayout, Clock,
+                   Decision, DualBufferHistogram, HelpingTheUnderservedPolicy,
+                   HistogramSnapshot, HostContext, LatencyHistogram,
+                   LatencySLO, ManualClock, MaxQueueLengthPolicy,
+                   MaxQueueWaitTimePolicy, MonotonicClock, PolicyStats, Query,
+                   QueueLimitWrapper, QueueView, RejectReason, SLORegistry,
+                   SlidingWindowCounts, SlidingWindowHistogram,
+                   SlidingWindowStats, TypeCounters)
+from .exceptions import (ConfigurationError, QueryRejectedError, ReproError,
+                         ShuttingDownError, SimulationError)
+from .liquid import (ClusterConfig, ClusterReport, CountQuery,
+                     DistanceQuery, EdgeQuery, FanoutQuery, LiquidService,
+                     QueryTypeCost, build_random_graph, linkedin_cost_table,
+                     run_cluster_simulation, sample_graph_queries)
+from .runtime import AdmissionServer, LoadGenerator, LoadResult
+from .sim import (ArrivalSchedule, QueryTypeSpec, SimulatedServer,
+                  SimulationReport, Simulator, TypeStats, WorkloadMix,
+                  run_simulation)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "ConfigurationError",
+    "QueryRejectedError",
+    "ReproError",
+    "ShuttingDownError",
+    "SimulationError",
+    # core
+    "AcceptFractionConfig",
+    "AcceptFractionPolicy",
+    "AcceptanceAllowancePolicy",
+    "AdmissionPolicy",
+    "AdmissionResult",
+    "AlwaysAcceptPolicy",
+    "AlwaysRejectPolicy",
+    "BouncerConfig",
+    "BouncerEstimate",
+    "BouncerPolicy",
+    "BucketLayout",
+    "Clock",
+    "DECISION_ALL",
+    "DECISION_ANY",
+    "DEFAULT_QUERY_TYPE",
+    "Decision",
+    "DualBufferHistogram",
+    "HelpingTheUnderservedPolicy",
+    "HistogramSnapshot",
+    "HostContext",
+    "LatencyHistogram",
+    "LatencySLO",
+    "ManualClock",
+    "MaxQueueLengthPolicy",
+    "MaxQueueWaitTimePolicy",
+    "MonotonicClock",
+    "PolicyStats",
+    "Query",
+    "QueueLimitWrapper",
+    "QueueView",
+    "RejectReason",
+    "SLORegistry",
+    "SlidingWindowCounts",
+    "SlidingWindowHistogram",
+    "SlidingWindowStats",
+    "TypeCounters",
+    # liquid
+    "ClusterConfig",
+    "ClusterReport",
+    "CountQuery",
+    "DistanceQuery",
+    "EdgeQuery",
+    "FanoutQuery",
+    "LiquidService",
+    "QueryTypeCost",
+    "build_random_graph",
+    "linkedin_cost_table",
+    "run_cluster_simulation",
+    "sample_graph_queries",
+    # runtime
+    "AdmissionServer",
+    "LoadGenerator",
+    "LoadResult",
+    # sim
+    "ArrivalSchedule",
+    "QueryTypeSpec",
+    "SimulatedServer",
+    "SimulationReport",
+    "Simulator",
+    "TypeStats",
+    "WorkloadMix",
+    "run_simulation",
+]

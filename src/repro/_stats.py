@@ -1,0 +1,49 @@
+"""Small exact-statistics helpers used by experiment reports.
+
+Reports compute percentiles over the *recorded* response times exactly
+(sorted order statistics with linear interpolation, numpy's default
+method), as opposed to the approximate bucketed percentiles policies use on
+their hot path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sequence.
+
+    Matches ``numpy.percentile(values, p)`` for ``p`` in [0, 100].
+    Returns 0.0 for an empty sequence (reports render that as "no data").
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(sorted_values[0])
+    rank = p / 100.0 * (n - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(sorted_values[low])
+    fraction = rank - low
+    return (float(sorted_values[low]) * (1.0 - fraction)
+            + float(sorted_values[high]) * fraction)
+
+
+def percentiles(values: Iterable[float],
+                ps: Iterable[float]) -> Dict[float, float]:
+    """Percentiles of an unsorted iterable, as a ``{p: value}`` dict."""
+    ordered: List[float] = sorted(values)
+    return {p: percentile(ordered, p) for p in ps}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 when empty."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,74 @@
+"""Plain-text table/series rendering and result persistence for benches.
+
+Every benchmark regenerates a table or figure from the paper; these helpers
+print the rows/series in a uniform format and persist them under
+``benchmarks/results/`` so the harness output survives the run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; floats the caller wants formatted should be
+    pre-formatted strings.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row]
+                                 for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[idx])
+                            for idx, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[idx])
+                               for idx, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs: Sequence[object],
+                  series: Sequence[tuple]) -> str:
+    """Render figure data as one row per x with one column per series.
+
+    ``series`` is a sequence of ``(name, values)`` pairs aligned with
+    ``xs`` — the same rows a plotting script would consume.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for idx, x in enumerate(xs):
+        row = [x]
+        for _, values in series:
+            value = values[idx] if idx < len(values) else ""
+            row.append(value)
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def results_dir() -> str:
+    """``benchmarks/results/`` next to the benchmark modules."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def publish(name: str, text: str) -> str:
+    """Print a rendered table and persist it to the results directory."""
+    print()
+    print(text)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+* ``simulate`` — run the §5.3 single-host study for one policy across one
+  or more load factors and print the per-type outcome table.
+* ``cluster``  — run the §5.4 broker/shard cluster model for one policy
+  across one or more (scaled) rates.
+* ``info``     — print the reproduction's configuration: the Table 1 mix,
+  the SLOs, the cluster shape, and the experiment-to-bench map.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .bench import (CLUSTER_SCALE, cluster_config, cluster_policy_lineup,
+                    format_table, make_accept_fraction, make_bouncer,
+                    make_bouncer_aa, make_bouncer_hu, make_maxql,
+                    make_maxqwt, simulation_mix)
+from .core import (GatekeeperConfig, GatekeeperPolicy, QCopConfig,
+                   QCopPolicy)
+from .liquid import run_cluster_simulation
+from .sim import run_simulation
+
+SIM_POLICIES = {
+    "bouncer": lambda: make_bouncer(),
+    "bouncer-aa": lambda: make_bouncer_aa(allowance=0.05),
+    "bouncer-hu": lambda: make_bouncer_hu(alpha=1.0),
+    "maxql": lambda: make_maxql(limit=400),
+    "maxqwt": lambda: make_maxqwt(limit=0.015),
+    "accept-fraction": lambda: make_accept_fraction(max_utilization=0.95),
+    # Related-work comparators (paper §6 / future work §7).
+    "gatekeeper": lambda: (lambda ctx: GatekeeperPolicy(
+        ctx, GatekeeperConfig(max_outstanding_time=0.030))),
+    "qcop": lambda: (lambda ctx: QCopPolicy(
+        ctx, QCopConfig(timeout=0.050, learning_rate=0.2))),
+}
+
+CLUSTER_POLICIES = {
+    "bouncer-aa": "Bouncer+AA",
+    "bouncer-hu": "Bouncer+HU",
+    "maxql": "MaxQL",
+    "maxqwt": "MaxQWT",
+    "accept-fraction": "AcceptFraction",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bouncer (SIGMOD 2024) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate",
+                         help="single-host simulation study (paper §5.3)")
+    sim.add_argument("--policy", choices=sorted(SIM_POLICIES),
+                     default="bouncer")
+    sim.add_argument("--factors", default="1.0,1.2,1.5",
+                     help="comma-separated multiples of QPS_full_load")
+    sim.add_argument("--queries", type=int, default=30_000)
+    sim.add_argument("--parallelism", type=int, default=100)
+    sim.add_argument("--seed", type=int, default=11)
+
+    cluster = sub.add_parser(
+        "cluster", help="broker/shard cluster study (paper §5.4)")
+    cluster.add_argument("--policy", choices=sorted(CLUSTER_POLICIES),
+                         default="bouncer-aa")
+    cluster.add_argument("--rates", default="9000,27000,45000",
+                         help="comma-separated scaled cluster rates")
+    cluster.add_argument("--queries", type=int, default=10_000)
+    cluster.add_argument("--seed", type=int, default=5)
+
+    sub.add_parser("info", help="print the reproduction's configuration")
+    return parser
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run the §5.3 single-host study and print per-type outcome tables."""
+    mix = simulation_mix()
+    factory = SIM_POLICIES[args.policy]()
+    full_load = mix.full_load_qps(args.parallelism)
+    for raw in args.factors.split(","):
+        factor = float(raw)
+        report = run_simulation(mix, factory, rate_qps=factor * full_load,
+                                num_queries=args.queries,
+                                parallelism=args.parallelism,
+                                seed=args.seed)
+        rows = []
+        for qtype in mix.type_names:
+            stats = report.stats_for(qtype)
+            rows.append([
+                qtype,
+                stats.received,
+                f"{stats.rejection_pct:.2f}%",
+                f"{stats.response.get(50.0, 0) * 1000:.2f}",
+                f"{stats.response.get(90.0, 0) * 1000:.2f}",
+            ])
+        rows.append(["ALL", report.overall.received,
+                     f"{report.overall.rejection_pct:.2f}%",
+                     f"{report.overall.response.get(50.0, 0) * 1000:.2f}",
+                     f"{report.overall.response.get(90.0, 0) * 1000:.2f}"])
+        print(format_table(
+            ["type", "received", "rejected", "rt_p50 (ms)", "rt_p90 (ms)"],
+            rows,
+            title=(f"{report.policy_name} @ {factor:.2f}x "
+                   f"({factor * full_load:,.0f} qps), utilization "
+                   f"{report.utilization:.1%}")))
+        print()
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run the §5.4 cluster model and print per-type outcome tables."""
+    config = cluster_config(seed=args.seed)
+    factory = dict(cluster_policy_lineup())[CLUSTER_POLICIES[args.policy]]
+    for raw in args.rates.split(","):
+        rate = int(raw)
+        report = run_cluster_simulation(config, factory, rate_qps=rate,
+                                        num_queries=args.queries,
+                                        seed=args.seed)
+        rows = []
+        for qtype in sorted(report.per_type,
+                            key=lambda name: int(name[2:])):
+            stats = report.per_type[qtype]
+            rows.append([
+                qtype, stats.received, f"{stats.rejection_pct:.2f}%",
+                f"{stats.processing.get(50.0, 0) * 1000:.2f}",
+                f"{stats.response.get(50.0, 0) * 1000:.2f}",
+                f"{stats.response.get(90.0, 0) * 1000:.2f}",
+            ])
+        print(format_table(
+            ["type", "received", "rejected", "pt_p50 (ms)", "rt_p50 (ms)",
+             "rt_p90 (ms)"],
+            rows,
+            title=(f"{report.policy_name} @ {rate:,} qps "
+                   f"(~{rate * CLUSTER_SCALE // 1000}K cluster-equivalent)"
+                   f" — rejections: brokers {report.broker_rejections}, "
+                   f"shards {report.shard_rejections}")))
+        print()
+    return 0
+
+
+def cmd_info() -> int:
+    """Print the reproduction's workload, SLO, and cluster configuration."""
+    mix = simulation_mix()
+    config = cluster_config()
+    print(f"repro {__version__} — reproduction of 'Bouncer: Admission "
+          f"Control with Response Time Objectives' (SIGMOD 2024)")
+    print()
+    rows = [[spec.name, f"{spec.proportion:.0%}",
+             f"{spec.mean * 1000:.2f}", f"{spec.median * 1000:.2f}",
+             f"{spec.p90 * 1000:.2f}"] for spec in mix]
+    print(format_table(
+        ["type", "mix", "pt_mean (ms)", "pt_p50 (ms)", "pt_p90 (ms)"],
+        rows, title="Simulation workload (paper Table 1)"))
+    print()
+    print(f"SLOs: p50 = 18ms, p90 = 50ms for every type (paper Table 2)")
+    print(f"QPS_full_load (P=100): {mix.full_load_qps(100):,.0f}")
+    print()
+    print(f"Cluster model: {config.num_brokers} brokers x "
+          f"{config.broker_processes} engines, {config.num_shards} shards "
+          f"x {config.shard_processes} cores "
+          f"(paper's 12/16 cluster scaled {CLUSTER_SCALE}x down)")
+    print()
+    print("Benchmark harness: pytest benchmarks/ --benchmark-only")
+    print("Experiment map: DESIGN.md section 3; measured outcomes: "
+          "EXPERIMENTS.md")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return cmd_simulate(args)
+    if args.command == "cluster":
+        return cmd_cluster(args)
+    return cmd_info()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

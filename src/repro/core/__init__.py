@@ -1,0 +1,78 @@
+"""The paper's contribution: Bouncer, its starvation-avoidance strategies,
+the baseline policies it is compared against, and the measurement machinery
+they share (histograms, sliding windows, SLOs, the policy framework).
+"""
+
+from .advisor import (SLOClass, group_into_classes, propose_registry,
+                      propose_targets)
+from .baselines import (AcceptFractionConfig, AcceptFractionPolicy,
+                        MaxQueueLengthPolicy, MaxQueueWaitTimePolicy,
+                        QueueLimitWrapper)
+from .bouncer import (DECISION_ALL, DECISION_ANY, HISTOGRAMS_DUAL_BUFFER,
+                      HISTOGRAMS_SLIDING_WINDOW, BouncerConfig,
+                      BouncerEstimate, BouncerPolicy)
+from .clock import Clock, ManualClock, MonotonicClock
+from .context import HostContext
+from .dual_buffer import DualBufferHistogram, SlidingWindowHistogram
+from .histogram import (BucketLayout, HistogramSnapshot, LatencyHistogram,
+                        empty_snapshot)
+from .policy import (AdmissionPolicy, AlwaysAcceptPolicy, AlwaysRejectPolicy,
+                     PolicyStats, QueueView, TypeCounters)
+from .related import (GatekeeperConfig, GatekeeperPolicy, QCopConfig,
+                      QCopPolicy)
+from .sliding_window import SlidingWindowCounts, SlidingWindowStats
+from .slo import LatencySLO, SLORegistry
+from .starvation import (AcceptanceAllowancePolicy,
+                         HelpingTheUnderservedPolicy)
+from .types import (DEFAULT_QUERY_TYPE, AdmissionResult, Decision, Query,
+                    RejectReason)
+
+__all__ = [
+    "AcceptFractionConfig",
+    "AcceptFractionPolicy",
+    "AcceptanceAllowancePolicy",
+    "AdmissionPolicy",
+    "AdmissionResult",
+    "AlwaysAcceptPolicy",
+    "AlwaysRejectPolicy",
+    "BouncerConfig",
+    "BouncerEstimate",
+    "BouncerPolicy",
+    "BucketLayout",
+    "Clock",
+    "DECISION_ALL",
+    "DECISION_ANY",
+    "HISTOGRAMS_DUAL_BUFFER",
+    "HISTOGRAMS_SLIDING_WINDOW",
+    "DEFAULT_QUERY_TYPE",
+    "Decision",
+    "DualBufferHistogram",
+    "GatekeeperConfig",
+    "GatekeeperPolicy",
+    "HelpingTheUnderservedPolicy",
+    "HistogramSnapshot",
+    "HostContext",
+    "LatencyHistogram",
+    "LatencySLO",
+    "ManualClock",
+    "MaxQueueLengthPolicy",
+    "MaxQueueWaitTimePolicy",
+    "MonotonicClock",
+    "PolicyStats",
+    "QCopConfig",
+    "QCopPolicy",
+    "Query",
+    "QueueLimitWrapper",
+    "QueueView",
+    "RejectReason",
+    "SLOClass",
+    "SLORegistry",
+    "SlidingWindowCounts",
+    "SlidingWindowHistogram",
+    "SlidingWindowStats",
+    "TypeCounters",
+    "empty_snapshot",
+    "group_into_classes",
+    "propose_registry",
+    "propose_targets",
+]

@@ -1,0 +1,163 @@
+"""SLO configuration advisor (paper Appendix B.2).
+
+Appendix B.2 describes how operators actually configure Bouncer: measure
+each query type's percentile response times under realistic conditions
+(work they do anyway for customers), add headroom, and — because "multiple
+query types often share the same SLO", with ratios "as high as 20:1" —
+group the types into a manageable set of SLO *classes* rather than
+maintaining one SLO per type.
+
+This module automates that workflow:
+
+* :func:`propose_targets` — per-type SLO targets from profiled latency
+  samples plus a headroom factor;
+* :func:`group_into_classes` — 1-D agglomerative grouping of types whose
+  targets are within a tolerance ratio, each class adopting its loosest
+  member's targets (so no member's measured latency loses headroom);
+* :func:`propose_registry` — the end-to-end step producing a ready
+  :class:`~repro.core.slo.SLORegistry`.
+
+The advisor consumes plain ``{qtype: [response_time_samples]}`` data, so
+it works with a :class:`~repro.sim.report.SimulationReport`, a
+:class:`~repro.runtime.loadgen.LoadResult`, or production logs alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .._stats import percentile
+from ..exceptions import ConfigurationError
+from .slo import LatencySLO, SLORegistry
+
+#: Default SLO percentiles (the paper's choice; see Appendix B.1).
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 90.0)
+#: Default headroom multiplier over the measured percentile.
+DEFAULT_HEADROOM = 1.5
+#: Two types may share a class when all their targets are within this
+#: multiplicative tolerance of each other.
+DEFAULT_TOLERANCE = 2.0
+
+
+@dataclass
+class SLOClass:
+    """One proposed SLO shared by several query types."""
+
+    slo: LatencySLO
+    members: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SLOClass({self.slo!r}, members={self.members})"
+
+
+def propose_targets(samples: Mapping[str, Sequence[float]],
+                    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+                    headroom: float = DEFAULT_HEADROOM,
+                    min_samples: int = 50
+                    ) -> Dict[str, Dict[float, float]]:
+    """Per-type SLO targets: measured percentile x headroom.
+
+    Types with fewer than ``min_samples`` observations are skipped — a
+    target set from a handful of samples would be noise (the operator
+    should profile longer, or let the type ride the default SLO).
+    """
+    if headroom < 1.0:
+        raise ConfigurationError(
+            f"headroom must be >= 1 (got {headroom}); an SLO below the "
+            f"measured latency would reject the type's typical traffic")
+    if not percentiles:
+        raise ConfigurationError("need at least one percentile")
+    targets: Dict[str, Dict[float, float]] = {}
+    for qtype, values in samples.items():
+        if len(values) < min_samples:
+            continue
+        ordered = sorted(values)
+        targets[qtype] = {
+            p: percentile(ordered, p) * headroom for p in percentiles}
+    return targets
+
+
+def group_into_classes(targets: Mapping[str, Mapping[float, float]],
+                       tolerance: float = DEFAULT_TOLERANCE
+                       ) -> List[SLOClass]:
+    """Group per-type targets into shared SLO classes (Appendix B.2).
+
+    Types are sorted by their primary (lowest-percentile) target and
+    greedily merged while every percentile's target stays within
+    ``tolerance`` x the class seed's.  Each class adopts the loosest
+    member targets per percentile, so every member keeps at least its own
+    headroom.
+    """
+    if tolerance < 1.0:
+        raise ConfigurationError(
+            f"tolerance must be >= 1, got {tolerance}")
+    if not targets:
+        return []
+    percentiles = None
+    for qtype, mapping in targets.items():
+        ps = tuple(sorted(mapping))
+        if percentiles is None:
+            percentiles = ps
+        elif ps != percentiles:
+            raise ConfigurationError(
+                f"all types must share the same percentile set; "
+                f"{qtype!r} has {ps}, expected {percentiles}")
+    primary = percentiles[0]
+    ordered = sorted(targets, key=lambda q: targets[q][primary])
+
+    classes: List[SLOClass] = []
+    seed: Dict[float, float] = {}
+    loosest: Dict[float, float] = {}
+    members: List[str] = []
+
+    def flush() -> None:
+        if members:
+            classes.append(SLOClass(slo=LatencySLO(dict(loosest)),
+                                    members=list(members)))
+
+    for qtype in ordered:
+        current = targets[qtype]
+        fits = members and all(
+            current[p] <= seed[p] * tolerance for p in percentiles)
+        if fits:
+            members.append(qtype)
+            for p in percentiles:
+                loosest[p] = max(loosest[p], current[p])
+        else:
+            flush()
+            seed = dict(current)
+            loosest = dict(current)
+            members = [qtype]
+    flush()
+    return classes
+
+
+def propose_registry(samples: Mapping[str, Sequence[float]],
+                     percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+                     headroom: float = DEFAULT_HEADROOM,
+                     tolerance: float = DEFAULT_TOLERANCE,
+                     min_samples: int = 50,
+                     default_multiplier: float = 2.0) -> SLORegistry:
+    """Profiled samples in, deployable :class:`SLORegistry` out.
+
+    The catch-all default SLO is the loosest class's targets times
+    ``default_multiplier`` — permissive enough that brand-new query types
+    are serviceable before an operator classifies them (Appendix B.2's
+    onboarding argument).
+    """
+    if default_multiplier < 1.0:
+        raise ConfigurationError("default_multiplier must be >= 1")
+    targets = propose_targets(samples, percentiles, headroom, min_samples)
+    if not targets:
+        raise ConfigurationError(
+            "no query type had enough samples to propose SLOs")
+    classes = group_into_classes(targets, tolerance)
+    loosest = classes[-1].slo
+    default = LatencySLO({p: loosest.target(p) * default_multiplier
+                          for p in loosest.percentiles})
+    registry = SLORegistry(default=default)
+    for slo_class in classes:
+        for qtype in slo_class.members:
+            registry.register(qtype, slo_class.slo)
+    return registry

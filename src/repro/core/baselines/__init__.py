@@ -1,0 +1,28 @@
+"""In-house baseline admission control policies from the paper's §5.2.
+
+Unlike Bouncer, these are oblivious to query types:
+
+* :class:`~repro.core.baselines.max_queue_length.MaxQueueLengthPolicy`
+  (MaxQL, §5.2.1) — accept while the FIFO queue is shorter than a limit.
+* :class:`~repro.core.baselines.max_queue_wait.MaxQueueWaitTimePolicy`
+  (MaxQWT, §5.2.2) — accept while the estimated mean queue wait is within a
+  limit; also supports the §5.5 per-type-limit variant.
+* :class:`~repro.core.baselines.accept_fraction.AcceptFractionPolicy`
+  (§5.2.3) — probabilistically accept the fraction of traffic the host can
+  serve under a utilization threshold.
+* :class:`~repro.core.baselines.queue_cap.QueueLimitWrapper` — the safety
+  queue-length cap LIquid layers under every policy (§5.4).
+"""
+
+from .accept_fraction import AcceptFractionConfig, AcceptFractionPolicy
+from .max_queue_length import MaxQueueLengthPolicy
+from .max_queue_wait import MaxQueueWaitTimePolicy
+from .queue_cap import QueueLimitWrapper
+
+__all__ = [
+    "AcceptFractionConfig",
+    "AcceptFractionPolicy",
+    "MaxQueueLengthPolicy",
+    "MaxQueueWaitTimePolicy",
+    "QueueLimitWrapper",
+]

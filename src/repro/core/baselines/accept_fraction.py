@@ -1,0 +1,142 @@
+"""AcceptFraction: the utilization-threshold policy (paper §5.2.3).
+
+The policy periodically computes the fraction of queries the host should
+accept::
+
+    f = min(1.0, MaxUtil * |PU| / (qps_mavg * pt_mavg))
+
+where ``MaxUtil * |PU|`` is the *available* processing capacity (fixed at
+configuration time) and ``qps_mavg * pt_mavg`` is the *demanded* capacity
+from moving averages of the arrival rate and processing times.  It then
+accepts each query with probability ``f``.
+
+Per the paper it also estimates every query's mean queue wait with Eq. 5
+(``l * pt_mavg / P``) and pre-rejects queries expected to time out in the
+queue — the behaviour LIquid's shards rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ...exceptions import ConfigurationError
+from ..context import HostContext
+from ..policy import AdmissionPolicy
+from ..sliding_window import SlidingWindowStats
+from ..types import AdmissionResult, Query, RejectReason
+
+
+@dataclass
+class AcceptFractionConfig:
+    """Tunables for :class:`AcceptFractionPolicy`.
+
+    Parameters
+    ----------
+    max_utilization:
+        ``MaxUtil`` in (0, 1]: the utilization threshold (95% in the paper's
+        simulation study, 80% on LIquid's shards).
+    processing_units:
+        ``|PU|``; when ``None``, the host context's parallelism is used
+        (which is how brokers configure it).
+    update_interval:
+        How often the accepted fraction ``f`` is recomputed (paper: 1s).
+    window / step:
+        The moving-average window (paper: D = 60s, delta = 1s).
+    reject_expected_timeouts:
+        Enable the Eq. 5 pre-rejection of queries that would exceed their
+        deadline while queued (on by default, as in LIquid).
+    """
+
+    max_utilization: float = 0.95
+    processing_units: Optional[int] = None
+    update_interval: float = 1.0
+    window: float = 60.0
+    step: float = 1.0
+    reject_expected_timeouts: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_utilization <= 1.0:
+            raise ConfigurationError(
+                f"max_utilization must be in (0, 1], got "
+                f"{self.max_utilization}")
+        if self.processing_units is not None and self.processing_units < 1:
+            raise ConfigurationError("processing_units must be >= 1")
+        if self.update_interval <= 0:
+            raise ConfigurationError("update_interval must be > 0")
+
+
+class AcceptFractionPolicy(AdmissionPolicy):
+    """Probabilistically shed the traffic exceeding available capacity."""
+
+    name = "accept-fraction"
+
+    def __init__(self, ctx: HostContext,
+                 config: Optional[AcceptFractionConfig] = None,
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__()
+        self._ctx = ctx
+        self._config = config or AcceptFractionConfig()
+        units = self._config.processing_units or ctx.parallelism
+        self._available_capacity = self._config.max_utilization * units
+        self._qps = SlidingWindowStats(ctx.clock, self._config.window,
+                                       self._config.step)
+        self._pt = SlidingWindowStats(ctx.clock, self._config.window,
+                                      self._config.step)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._fraction = 1.0
+        self._next_update = ctx.clock.now() + self._config.update_interval
+
+    @property
+    def config(self) -> AcceptFractionConfig:
+        return self._config
+
+    @property
+    def fraction(self) -> float:
+        """The accepted fraction ``f`` currently in force."""
+        return self._fraction
+
+    def compute_fraction(self) -> float:
+        """Recompute ``f`` from the current moving averages.
+
+        ``dpc = qps_mavg * pt_mavg`` may be zero; per the paper's footnote
+        we treat ``min(1.0, inf)`` as 1.0 (accept everything).
+        """
+        demanded = self._qps.rate() * self._pt.mean()
+        if demanded <= 0.0:
+            return 1.0
+        return min(1.0, self._available_capacity / demanded)
+
+    def estimate_wait_mean(self) -> float:
+        """Eq. 5 with ``P = |PU|``, for timeout pre-rejection."""
+        length = self._ctx.queue.length()
+        if length == 0:
+            return 0.0
+        units = self._config.processing_units or self._ctx.parallelism
+        return length * self._pt.mean() / units
+
+    def _decide(self, query: Query) -> AdmissionResult:
+        now = self._ctx.clock.now()
+        # Every received query contributes to the demanded-capacity rate.
+        self._qps.mark()
+        if now >= self._next_update:
+            self._fraction = self.compute_fraction()
+            behind = int((now - self._next_update)
+                         / self._config.update_interval) + 1
+            self._next_update += behind * self._config.update_interval
+
+        if (self._config.reject_expected_timeouts
+                and query.deadline is not None):
+            expected_start = now + self.estimate_wait_mean()
+            if expected_start > query.deadline:
+                return AdmissionResult.reject(RejectReason.EXPECTED_TIMEOUT)
+
+        if self._fraction >= 1.0 or self._rng.random() < self._fraction:
+            return AdmissionResult.accept()
+        return AdmissionResult.reject(RejectReason.CAPACITY)
+
+    def on_completed(self, query: Query, wait_time: float,
+                     processing_time: float) -> None:
+        self._pt.add(processing_time)

@@ -1,0 +1,34 @@
+"""MaxQL: the maximum queue length policy (paper §5.2.1).
+
+"It simply accepts an incoming query only if the FIFO queue's length is
+less than a configurable length limit (l < L_limit)."
+"""
+
+from __future__ import annotations
+
+from ...exceptions import ConfigurationError
+from ..context import HostContext
+from ..policy import AdmissionPolicy
+from ..types import AdmissionResult, Query, RejectReason
+
+
+class MaxQueueLengthPolicy(AdmissionPolicy):
+    """Accept while the FIFO queue holds fewer than ``limit`` queries."""
+
+    name = "maxql"
+
+    def __init__(self, ctx: HostContext, limit: int = 400) -> None:
+        super().__init__()
+        if limit < 1:
+            raise ConfigurationError(f"queue limit must be >= 1, got {limit}")
+        self._ctx = ctx
+        self._limit = int(limit)
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    def _decide(self, query: Query) -> AdmissionResult:
+        if self._ctx.queue.length() < self._limit:
+            return AdmissionResult.accept()
+        return AdmissionResult.reject(RejectReason.QUEUE_FULL)

@@ -1,0 +1,80 @@
+"""MaxQWT: the maximum queue wait time policy (paper §5.2.2 and §5.5).
+
+"It admits an incoming query Q only if the estimate for Q's mean queue wait
+time is less than or equal to a configurable time limit
+(ewt_mean <= T_limit).  The mean queue wait time is estimated as
+``ewt_mean = l * pt_mavg / P`` (Eq. 5) where l is the FIFO queue's current
+length; pt_mavg is the moving average of query processing times in a
+sliding window of duration D and time step delta, with D >> delta; and P is
+the number of processes responsible for processing queries."
+
+The paper's §5.5 additionally evaluates an experimental variant where the
+wait time limit is assigned *per query type*; pass ``per_type_limits`` to
+enable it.  The estimate itself remains type-oblivious (it uses the global
+moving-average processing time), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ...exceptions import ConfigurationError
+from ..context import HostContext
+from ..policy import AdmissionPolicy
+from ..sliding_window import SlidingWindowStats
+from ..types import AdmissionResult, Query, RejectReason
+
+#: Default moving-average window (paper: D = 60s unless stated otherwise).
+DEFAULT_WINDOW = 60.0
+#: Default moving-average step (paper: delta = 1s).
+DEFAULT_STEP = 1.0
+
+
+class MaxQueueWaitTimePolicy(AdmissionPolicy):
+    """Accept while the Eq. 5 mean-wait estimate is within the limit."""
+
+    name = "maxqwt"
+
+    def __init__(self, ctx: HostContext, limit: float = 0.015,
+                 per_type_limits: Optional[Mapping[str, float]] = None,
+                 window: float = DEFAULT_WINDOW,
+                 step: float = DEFAULT_STEP) -> None:
+        super().__init__()
+        if limit <= 0:
+            raise ConfigurationError(
+                f"wait time limit must be > 0, got {limit}")
+        for qtype, value in (per_type_limits or {}).items():
+            if value <= 0:
+                raise ConfigurationError(
+                    f"per-type limit for {qtype!r} must be > 0, got {value}")
+        self._ctx = ctx
+        self._limit = float(limit)
+        self._per_type_limits = dict(per_type_limits or {})
+        self._pt_mavg = SlidingWindowStats(ctx.clock, duration=window,
+                                           step=step)
+
+    @property
+    def limit(self) -> float:
+        """The default (type-oblivious) wait time limit, seconds."""
+        return self._limit
+
+    def limit_for(self, qtype: str) -> float:
+        """Effective limit for a type (§5.5 variant; default otherwise)."""
+        return self._per_type_limits.get(qtype, self._limit)
+
+    def estimate_wait_mean(self) -> float:
+        """Eq. 5: ``l * pt_mavg / P``."""
+        length = self._ctx.queue.length()
+        if length == 0:
+            return 0.0
+        return length * self._pt_mavg.mean() / self._ctx.parallelism
+
+    def _decide(self, query: Query) -> AdmissionResult:
+        estimate = self.estimate_wait_mean()
+        if estimate <= self.limit_for(query.qtype):
+            return AdmissionResult.accept()
+        return AdmissionResult.reject(RejectReason.WAIT_LIMIT)
+
+    def on_completed(self, query: Query, wait_time: float,
+                     processing_time: float) -> None:
+        self._pt_mavg.add(processing_time)

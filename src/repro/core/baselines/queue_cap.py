@@ -1,0 +1,57 @@
+"""Queue-length safety cap layered under any policy (paper §5.4).
+
+"In LIquid not only MaxQL, but the other policies too can enforce a limit
+on the queue's length to safeguard against its unbounded growth.  We set
+the maximum queue length (L_limit) to 800 for all the policies."
+
+:class:`QueueLimitWrapper` provides that: it rejects outright when the FIFO
+queue has reached the cap and otherwise delegates to the wrapped policy.
+"""
+
+from __future__ import annotations
+
+from ...exceptions import ConfigurationError
+from ..context import HostContext
+from ..policy import AdmissionPolicy
+from ..types import AdmissionResult, Query, RejectReason
+
+
+class QueueLimitWrapper(AdmissionPolicy):
+    """Reject when the queue is at the cap; otherwise ask the inner policy."""
+
+    def __init__(self, inner: AdmissionPolicy, ctx: HostContext,
+                 limit: int = 800) -> None:
+        super().__init__()
+        if limit < 1:
+            raise ConfigurationError(f"queue limit must be >= 1, got {limit}")
+        self._inner = inner
+        self._ctx = ctx
+        self._limit = int(limit)
+        self.name = f"{inner.name}+qcap{limit}"
+
+    @property
+    def inner(self) -> AdmissionPolicy:
+        return self._inner
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    def _decide(self, query: Query) -> AdmissionResult:
+        if self._ctx.queue.length() >= self._limit:
+            return AdmissionResult.reject(RejectReason.QUEUE_FULL)
+        return self._inner.decide(query)
+
+    def on_enqueued(self, query: Query) -> None:
+        self._inner.on_enqueued(query)
+
+    def on_dequeued(self, query: Query, wait_time: float) -> None:
+        self._inner.on_dequeued(query, wait_time)
+
+    def on_completed(self, query: Query, wait_time: float,
+                     processing_time: float) -> None:
+        self._inner.on_completed(query, wait_time, processing_time)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self._inner.reset_stats()

@@ -1,0 +1,308 @@
+"""The Bouncer admission control policy (paper §3, Algorithm 1).
+
+For every arriving query ``Q`` of type ``t``, Bouncer computes:
+
+* an estimate of the mean queue wait time the query will experience::
+
+      ewt_mean = sum(count(type) * pt_mean(type) for type in queue) / P    (Eq. 2)
+
+  where ``count(type)`` is the number of queries of that type currently in
+  the FIFO queue, ``pt_mean(type)`` is the mean processing time from the
+  type's histogram, and ``P`` is the number of query engine processes; and
+
+* percentile response-time estimates for each percentile ``p`` the type's
+  SLO constrains::
+
+      ert_p(Q) = ewt_mean + pt_p(t)                                (Eqs. 3-4)
+
+and rejects ``Q`` iff any estimate exceeds its SLO target (Algorithm 1).
+The paper uses p50 and p90; this implementation supports any percentile set
+carried by the SLO (p99 etc. — listed by the authors as a straightforward
+extension) and an alternative ``all`` decision mode for ablations.
+
+Processing-time distributions are maintained per type in dual-buffer
+histograms (§3 footnote 4) plus one *general* histogram over all types.
+Cold starts are handled per Appendix A: while a type's histogram holds too
+few samples, estimates are made from the general histogram against the
+default (catch-all) SLO, and during traffic lulls stale per-type snapshots
+are retained rather than replaced by empty ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..exceptions import ConfigurationError
+from .context import HostContext
+from .dual_buffer import DualBufferHistogram, SlidingWindowHistogram
+from .histogram import BucketLayout, HistogramSnapshot
+from .policy import AdmissionPolicy
+from .slo import LatencySLO, SLORegistry
+from .types import AdmissionResult, Query, RejectReason
+
+#: Reject when ANY percentile estimate exceeds its target (Algorithm 1).
+DECISION_ANY = "any"
+#: Reject only when ALL percentile estimates exceed their targets
+#: (a laxer variant evaluated in the ablation benches).
+DECISION_ALL = "all"
+
+#: Histogram maintenance via atomically swapped non-overlapping windows
+#: (the paper's production design, §3 footnote 4).
+HISTOGRAMS_DUAL_BUFFER = "dual-buffer"
+#: Histogram maintenance over a sliding window of overlapping slices (the
+#: alternative the paper lists as future work, §7).
+HISTOGRAMS_SLIDING_WINDOW = "sliding-window"
+
+
+@dataclass
+class BouncerConfig:
+    """Tunables for :class:`BouncerPolicy`.
+
+    Parameters
+    ----------
+    slos:
+        Per-query-type latency SLOs with a catch-all default (§3).
+    histogram_interval:
+        Dual-buffer swap period in seconds (the paper's LIquid deployment
+        publishes every second).
+    min_samples:
+        A type's snapshot must hold at least this many observations to be
+        trusted; below it the policy falls back to the general histogram and
+        default SLO (Appendix A warm-up behaviour).
+    retain_min_samples:
+        Passed through to the dual buffers: an interval with fewer samples
+        keeps the previous (stale) snapshot instead of publishing
+        (Appendix A traffic-lull behaviour).
+    bootstrap_samples:
+        Publish a histogram's very first snapshot as soon as it has this
+        many samples instead of waiting out a full interval, shortening the
+        cold-start window (0 disables).
+    decision_mode:
+        :data:`DECISION_ANY` (the paper's Algorithm 1) or
+        :data:`DECISION_ALL`.
+    histogram_mode:
+        :data:`HISTOGRAMS_DUAL_BUFFER` (the paper's design) or
+        :data:`HISTOGRAMS_SLIDING_WINDOW` (its future-work alternative:
+        observations age out slice by slice instead of all at once).
+    histogram_window:
+        Sliding-window span in seconds (sliding-window mode only); slices
+        are ``histogram_interval`` long.
+    layout:
+        Optional shared histogram bucket layout.
+    """
+
+    slos: SLORegistry
+    histogram_interval: float = 1.0
+    min_samples: int = 20
+    retain_min_samples: int = 10
+    bootstrap_samples: int = 100
+    decision_mode: str = DECISION_ANY
+    histogram_mode: str = HISTOGRAMS_DUAL_BUFFER
+    histogram_window: float = 5.0
+    layout: Optional[BucketLayout] = None
+
+    def __post_init__(self) -> None:
+        if self.decision_mode not in (DECISION_ANY, DECISION_ALL):
+            raise ConfigurationError(
+                f"decision_mode must be {DECISION_ANY!r} or {DECISION_ALL!r},"
+                f" got {self.decision_mode!r}")
+        if self.histogram_mode not in (HISTOGRAMS_DUAL_BUFFER,
+                                       HISTOGRAMS_SLIDING_WINDOW):
+            raise ConfigurationError(
+                f"histogram_mode must be {HISTOGRAMS_DUAL_BUFFER!r} or "
+                f"{HISTOGRAMS_SLIDING_WINDOW!r}, got "
+                f"{self.histogram_mode!r}")
+        if self.histogram_window < self.histogram_interval:
+            raise ConfigurationError(
+                "histogram_window must be >= histogram_interval")
+        if self.min_samples < 0:
+            raise ConfigurationError("min_samples must be >= 0")
+        if self.histogram_interval <= 0:
+            raise ConfigurationError("histogram_interval must be > 0")
+
+
+@dataclass
+class BouncerEstimate:
+    """The evidence behind one Bouncer decision (exposed for observability).
+
+    ``cold_start`` flags that the general histogram and default SLO were
+    used because the type's own histogram was insufficiently populated.
+    """
+
+    qtype: str
+    wait_mean: float
+    response: Dict[float, float] = field(default_factory=dict)
+    slo: Optional[LatencySLO] = None
+    cold_start: bool = False
+
+
+class BouncerPolicy(AdmissionPolicy):
+    """SLO-driven admission control (the paper's primary contribution)."""
+
+    name = "bouncer"
+
+    def __init__(self, ctx: HostContext, config: BouncerConfig) -> None:
+        super().__init__()
+        self._ctx = ctx
+        self._config = config
+        self._slos = config.slos
+        self._hists: Dict[str, DualBufferHistogram] = {}
+        self._general = self._new_histogram()
+        self._mode_any = config.decision_mode == DECISION_ANY
+
+    # -- construction helpers -------------------------------------------
+    def _new_histogram(self):
+        if self._config.histogram_mode == HISTOGRAMS_SLIDING_WINDOW:
+            return SlidingWindowHistogram(
+                self._ctx.clock,
+                window=self._config.histogram_window,
+                step=self._config.histogram_interval,
+                layout=self._config.layout)
+        return DualBufferHistogram(
+            self._ctx.clock,
+            interval=self._config.histogram_interval,
+            min_samples=self._config.retain_min_samples,
+            bootstrap_samples=self._config.bootstrap_samples,
+            layout=self._config.layout)
+
+    def _histogram_for(self, qtype: str) -> DualBufferHistogram:
+        hist = self._hists.get(qtype)
+        if hist is None:
+            hist = self._new_histogram()
+            self._hists[qtype] = hist
+        return hist
+
+    # -- observability ----------------------------------------------------
+    @property
+    def config(self) -> BouncerConfig:
+        return self._config
+
+    @property
+    def slos(self) -> SLORegistry:
+        return self._slos
+
+    def processing_snapshot(self, qtype: str) -> HistogramSnapshot:
+        """Published processing-time snapshot for a type (tests/metrics)."""
+        return self._histogram_for(qtype).snapshot()
+
+    def general_snapshot(self) -> HistogramSnapshot:
+        """Published snapshot of the general (all-types) histogram."""
+        return self._general.snapshot()
+
+    # -- state transfer (Appendix A's pre-populated-histogram deployment) --
+    def export_state(self) -> dict:
+        """Serialize the published histograms to a JSON-friendly dict.
+
+        Appendix A discusses "deploying the system along with
+        pre-populated histograms containing query processing times from
+        previous installations"; this is the capture side.  Only the
+        published (read-side) snapshots are exported — the in-flight write
+        buffers are transient by design.
+        """
+        state = {"general": self._general.snapshot().to_dict(),
+                 "types": {}}
+        for qtype, hist in self._hists.items():
+            snapshot = hist.snapshot()
+            if not snapshot.is_empty:
+                state["types"][qtype] = snapshot.to_dict()
+        return state
+
+    def import_state(self, state: dict) -> None:
+        """Preload histograms exported from a previous installation.
+
+        Requires dual-buffer histogram mode (the paper's design); the
+        preloaded snapshots serve estimates until live data replaces them,
+        skipping the cold-start window entirely.
+        """
+        if self._config.histogram_mode != HISTOGRAMS_DUAL_BUFFER:
+            raise ConfigurationError(
+                "state import requires dual-buffer histograms")
+        general = state.get("general")
+        if general is not None:
+            snapshot = HistogramSnapshot.from_dict(general)
+            if not snapshot.is_empty:
+                self._general.preload(snapshot)
+        for qtype, payload in state.get("types", {}).items():
+            snapshot = HistogramSnapshot.from_dict(payload)
+            if not snapshot.is_empty:
+                self._histogram_for(qtype).preload(snapshot)
+
+    # -- estimation (Eqs. 2-4) -------------------------------------------
+    def estimate_wait_mean(self) -> float:
+        """Eq. 2: expected mean queue wait for a newly accepted query."""
+        occupancy = self._ctx.queue.occupancy()
+        if not occupancy:
+            return 0.0
+        general_mean: Optional[float] = None
+        total = 0.0
+        for qtype, count in occupancy.items():
+            snap = self._histogram_for(qtype).snapshot()
+            if snap.count >= max(self._config.min_samples, 1):
+                mean = snap.mean()
+            else:
+                if general_mean is None:
+                    general_mean = self._general.snapshot().mean()
+                mean = general_mean
+            total += count * mean
+        return total / self._ctx.parallelism
+
+    def estimate(self, qtype: str) -> BouncerEstimate:
+        """Full percentile response-time estimate for an incoming type.
+
+        Applies the Appendix A cold-start fallback: with a cold per-type
+        histogram, percentiles come from the general histogram and the SLO
+        compared against is the catch-all default.
+        """
+        wait_mean = self.estimate_wait_mean()
+        snap = self._histogram_for(qtype).snapshot()
+        cold = snap.count < self._config.min_samples
+        if cold:
+            snap = self._general.snapshot()
+            slo = self._slos.default
+        else:
+            slo = self._slos.for_type(qtype)
+        estimate = BouncerEstimate(qtype=qtype, wait_mean=wait_mean,
+                                   slo=slo, cold_start=cold)
+        percentiles = slo.percentiles
+        if snap.is_empty:
+            # Nothing measured anywhere yet: estimates are just the queue
+            # wait, which errs toward acceptance (deliberate leniency).
+            for p in percentiles:
+                estimate.response[p] = wait_mean
+            return estimate
+        for p, value in zip(sorted(percentiles),
+                            snap.percentiles(percentiles)):
+            estimate.response[p] = wait_mean + value
+        return estimate
+
+    # -- the decision (Algorithm 1) ----------------------------------------
+    def _decide(self, query: Query) -> AdmissionResult:
+        estimate = self.estimate(query.qtype)
+        slo = estimate.slo
+        assert slo is not None
+        exceeded = 0
+        constrained = 0
+        for percentile, target in slo.items():
+            constrained += 1
+            if estimate.response.get(percentile, 0.0) > target:
+                exceeded += 1
+        if self._mode_any:
+            reject = exceeded > 0
+        else:
+            reject = constrained > 0 and exceeded == constrained
+        if reject:
+            return AdmissionResult.reject(RejectReason.SLO_ESTIMATE,
+                                          estimates=dict(estimate.response))
+        return AdmissionResult.accept(estimates=dict(estimate.response))
+
+    # -- framework hooks ----------------------------------------------------
+    def on_completed(self, query: Query, wait_time: float,
+                     processing_time: float) -> None:
+        """Point 3: record the processing time in the type's histogram.
+
+        Every completion also feeds the general histogram, which backs the
+        cold-start fallback (Appendix A).
+        """
+        self._histogram_for(query.qtype).record(processing_time)
+        self._general.record(processing_time)

@@ -1,0 +1,61 @@
+"""Clock abstraction so policies run unchanged in simulation and production.
+
+Every time-dependent component in this library (histogram buffers, sliding
+windows, policies, servers) reads time through a :class:`Clock` rather than
+calling :func:`time.monotonic` directly.  The discrete-event simulator
+injects a :class:`ManualClock` it advances itself; the real runtime injects
+a :class:`MonotonicClock`.  This is what lets the exact same
+:class:`~repro.core.bouncer.BouncerPolicy` object be evaluated both ways, as
+the paper does (§5.3 vs §5.4).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` method returning seconds."""
+
+    def now(self) -> float:
+        """Current time in seconds on this clock's timeline."""
+        ...  # pragma: no cover
+
+
+class ManualClock:
+    """A clock advanced explicitly by its owner (the simulator or a test)."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current time on this clock's timeline."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def set(self, instant: float) -> None:
+        """Jump the clock to ``instant`` (must not move backwards)."""
+        if instant < self._now:
+            raise ValueError(
+                f"cannot move clock backwards ({instant} < {self._now})")
+        self._now = float(instant)
+
+
+class MonotonicClock:
+    """Wall-clock time from :func:`time.monotonic` (real runtime servers)."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        """Seconds from :func:`time.monotonic` (monotonic wall clock)."""
+        return time.monotonic()

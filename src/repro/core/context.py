@@ -1,0 +1,41 @@
+"""Host context handed to admission policies by the serving framework.
+
+A policy does not own the clock, the FIFO queue, or the engine pool — the
+host does.  :class:`HostContext` is the narrow, read-mostly interface a
+policy receives at construction time, identical across the discrete-event
+simulator, the LIquid cluster model, and the real threaded runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .clock import Clock
+from .policy import QueueView
+
+
+@dataclass
+class HostContext:
+    """Everything a policy may observe about its host.
+
+    Parameters
+    ----------
+    clock:
+        The host's time source (simulated or monotonic).
+    queue:
+        Live view of the FIFO queue (total length and per-type occupancy).
+        The *framework* updates it on enqueue/dequeue; policies only read.
+    parallelism:
+        ``P`` — the number of query engine processes on the host (Eq. 2's
+        denominator and Eq. 5's divisor).
+    """
+
+    clock: Clock
+    queue: QueueView
+    parallelism: int
+
+    def __post_init__(self) -> None:
+        if self.parallelism <= 0:
+            raise ConfigurationError(
+                f"parallelism must be >= 1, got {self.parallelism}")

@@ -1,0 +1,323 @@
+"""Log-bucketed latency histograms with percentile queries.
+
+Bouncer "adopts the natural approach of maintaining approximations for these
+distributions in histograms, one per query type" (paper §3).  This module
+provides that histogram: values are assigned to exponentially-growing
+buckets (constant *relative* error, like HdrHistogram), which suits latency
+data spanning microseconds to seconds.
+
+Two classes are exposed:
+
+* :class:`LatencyHistogram` — a mutable recorder.
+* :class:`HistogramSnapshot` — an immutable view with ``mean()`` and
+  ``percentile()`` used on the policy's read path.  Snapshots are what the
+  dual-buffer publisher (:mod:`repro.core.dual_buffer`) hands to Bouncer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+
+#: Default smallest distinguishable latency: 1 microsecond.
+DEFAULT_MIN_VALUE = 1e-6
+#: Default largest representable latency: 100 seconds.  Larger values clamp.
+DEFAULT_MAX_VALUE = 100.0
+#: Default per-bucket growth factor; relative quantization error ~= 4%.
+DEFAULT_GROWTH = 1.04
+
+
+class BucketLayout:
+    """Shared bucket geometry for a histogram family.
+
+    Buckets are ``[min_value * growth**i, min_value * growth**(i+1))``.
+    Values below ``min_value`` land in bucket 0; values at or above
+    ``max_value`` land in the last bucket.  Layouts are immutable and two
+    histograms can be merged only if they share a layout.
+    """
+
+    __slots__ = ("min_value", "max_value", "growth", "num_buckets",
+                 "_log_min", "_log_growth", "_bounds")
+
+    def __init__(self, min_value: float = DEFAULT_MIN_VALUE,
+                 max_value: float = DEFAULT_MAX_VALUE,
+                 growth: float = DEFAULT_GROWTH) -> None:
+        if min_value <= 0:
+            raise ConfigurationError(f"min_value must be > 0, got {min_value}")
+        if max_value <= min_value:
+            raise ConfigurationError(
+                f"max_value ({max_value}) must exceed min_value ({min_value})")
+        if growth <= 1.0:
+            raise ConfigurationError(f"growth must be > 1, got {growth}")
+        self.min_value = float(min_value)
+        self.max_value = float(max_value)
+        self.growth = float(growth)
+        self._log_min = math.log(min_value)
+        self._log_growth = math.log(growth)
+        self.num_buckets = int(
+            math.ceil((math.log(max_value) - self._log_min)
+                      / self._log_growth)) + 1
+        # Precomputed lower bounds; bucket i spans [_bounds[i], _bounds[i+1]).
+        self._bounds = [min_value * growth ** i
+                        for i in range(self.num_buckets + 1)]
+
+    def index_for(self, value: float) -> int:
+        """Return the bucket index a value falls in (clamped to the range)."""
+        if value < self.min_value:
+            return 0
+        if value >= self.max_value:
+            return self.num_buckets - 1
+        idx = int((math.log(value) - self._log_min) / self._log_growth)
+        # Guard against floating point landing on a boundary's wrong side.
+        if idx + 1 < len(self._bounds) and value >= self._bounds[idx + 1]:
+            idx += 1
+        elif value < self._bounds[idx]:
+            idx -= 1
+        return min(max(idx, 0), self.num_buckets - 1)
+
+    def lower_bound(self, index: int) -> float:
+        """Inclusive lower edge of bucket ``index``."""
+        return self._bounds[index]
+
+    def upper_bound(self, index: int) -> float:
+        """Exclusive upper edge of bucket ``index``."""
+        return self._bounds[index + 1]
+
+    def compatible_with(self, other: "BucketLayout") -> bool:
+        return (self.min_value == other.min_value
+                and self.max_value == other.max_value
+                and self.growth == other.growth)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable description (histogram snapshot export)."""
+        return {"min_value": self.min_value, "max_value": self.max_value,
+                "growth": self.growth}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BucketLayout":
+        return cls(min_value=data["min_value"],
+                   max_value=data["max_value"], growth=data["growth"])
+
+
+#: A default layout shared by histograms constructed without an explicit one.
+DEFAULT_LAYOUT = BucketLayout()
+
+
+class HistogramSnapshot:
+    """Immutable histogram contents; the read side of the dual buffer.
+
+    ``percentile(p)`` interpolates linearly inside the bucket containing the
+    requested rank, so the answer is within one bucket's relative error of
+    the true order statistic of the recorded values.
+    """
+
+    __slots__ = ("_layout", "_counts", "count", "_sum")
+
+    def __init__(self, layout: BucketLayout, counts: Sequence[int],
+                 total: int, value_sum: float) -> None:
+        self._layout = layout
+        self._counts = list(counts)
+        self.count = int(total)
+        self._sum = float(value_sum)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no observations back this snapshot."""
+        return self.count == 0
+
+    def mean(self) -> float:
+        """Exact mean of the recorded values (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self._sum / self.count
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile of the recorded values.
+
+        ``p`` is in ``(0, 100]``.  Returns 0.0 for an empty snapshot so that
+        cold policies err on the side of accepting (paper Appendix A).
+        """
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        target = p / 100.0 * self.count
+        cumulative = 0
+        for idx, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lower = self._layout.lower_bound(idx)
+                upper = self._layout.upper_bound(idx)
+                fraction = (target - previous) / bucket_count
+                return lower + (upper - lower) * fraction
+        # Rounding pushed the target past the total; return the top edge.
+        last = len(self._counts) - 1
+        return self._layout.upper_bound(last)
+
+    def percentiles(self, ps: Iterable[float]) -> List[float]:
+        """Vectorized :meth:`percentile` (single pass over the buckets)."""
+        wanted = sorted(set(float(p) for p in ps))
+        for p in wanted:
+            if not 0 < p <= 100:
+                raise ValueError(f"percentile must be in (0, 100], got {p}")
+        results = {}
+        if self.count == 0:
+            return [0.0 for _ in wanted]
+        targets = [(p, p / 100.0 * self.count) for p in wanted]
+        cumulative = 0
+        it = iter(targets)
+        current = next(it, None)
+        for idx, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            while current is not None and cumulative >= current[1]:
+                lower = self._layout.lower_bound(idx)
+                upper = self._layout.upper_bound(idx)
+                fraction = (current[1] - previous) / bucket_count
+                results[current[0]] = lower + (upper - lower) * fraction
+                current = next(it, None)
+            if current is None:
+                break
+        top = self._layout.upper_bound(len(self._counts) - 1)
+        return [results.get(p, top) for p in wanted]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (sparse bucket counts).
+
+        Together with :meth:`from_dict`, this supports the paper's
+        Appendix A alternative of deploying a system "along with
+        pre-populated histograms containing query processing times from
+        previous installations".
+        """
+        return {
+            "layout": self._layout.to_dict(),
+            "count": self.count,
+            "sum": self._sum,
+            "buckets": {str(idx): cnt
+                        for idx, cnt in enumerate(self._counts) if cnt},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramSnapshot":
+        layout = BucketLayout.from_dict(data["layout"])
+        counts = [0] * layout.num_buckets
+        for idx, cnt in data["buckets"].items():
+            index = int(idx)
+            if not 0 <= index < layout.num_buckets:
+                raise ConfigurationError(
+                    f"bucket index {index} outside the layout "
+                    f"(0..{layout.num_buckets - 1})")
+            counts[index] = int(cnt)
+        total = int(data["count"])
+        if total != sum(counts):
+            raise ConfigurationError(
+                f"snapshot count {total} does not match bucket sum "
+                f"{sum(counts)}")
+        return cls(layout, counts, total, float(data["sum"]))
+
+    def merged_with(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Return a new snapshot combining both sets of observations."""
+        if not self._layout.compatible_with(other._layout):
+            raise ConfigurationError("cannot merge snapshots with different "
+                                     "bucket layouts")
+        counts = [a + b for a, b in zip(self._counts, other._counts)]
+        return HistogramSnapshot(self._layout, counts,
+                                 self.count + other.count,
+                                 self._sum + other._sum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_empty:
+            return "HistogramSnapshot(empty)"
+        return (f"HistogramSnapshot(count={self.count}, "
+                f"mean={self.mean():.6f}, p50={self.percentile(50):.6f})")
+
+
+def empty_snapshot(layout: Optional[BucketLayout] = None) -> HistogramSnapshot:
+    """An empty snapshot (used before any interval has been published)."""
+    layout = layout or DEFAULT_LAYOUT
+    return HistogramSnapshot(layout, [0] * layout.num_buckets, 0, 0.0)
+
+
+class LatencyHistogram:
+    """Mutable recorder of latency observations.
+
+    Not thread-safe by itself; the dual-buffer publisher serializes access
+    in multi-threaded runtimes, and the simulator is single-threaded.
+    """
+
+    __slots__ = ("_layout", "_counts", "_count", "_sum")
+
+    def __init__(self, layout: Optional[BucketLayout] = None) -> None:
+        self._layout = layout or DEFAULT_LAYOUT
+        self._counts = [0] * self._layout.num_buckets
+        self._count = 0
+        self._sum = 0.0
+
+    @classmethod
+    def from_values(cls, values: Iterable[float],
+                    layout: Optional[BucketLayout] = None
+                    ) -> "LatencyHistogram":
+        hist = cls(layout)
+        for value in values:
+            hist.record(value)
+        return hist
+
+    @property
+    def layout(self) -> BucketLayout:
+        return self._layout
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def record(self, value: float) -> None:
+        """Record one latency observation (negative values are invalid)."""
+        if value < 0:
+            raise ValueError(f"latency cannot be negative: {value}")
+        self._counts[self._layout.index_for(value)] += 1
+        self._count += 1
+        self._sum += value
+
+    def mean(self) -> float:
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile of everything recorded so far."""
+        return self.snapshot().percentile(p)
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Freeze the current contents into an immutable snapshot."""
+        return HistogramSnapshot(self._layout, self._counts, self._count,
+                                 self._sum)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's observations into this one."""
+        if not self._layout.compatible_with(other._layout):
+            raise ConfigurationError("cannot merge histograms with different "
+                                     "bucket layouts")
+        for idx, cnt in enumerate(other._counts):
+            self._counts[idx] += cnt
+        self._count += other._count
+        self._sum += other._sum
+
+    def reset(self) -> None:
+        """Clear all recorded observations (dual-buffer recycle)."""
+        for idx in range(len(self._counts)):
+            self._counts[idx] = 0
+        self._count = 0
+        self._sum = 0.0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyHistogram(count={self._count})"

@@ -1,0 +1,24 @@
+"""Re-creations of related-work policies the paper compares against (§6).
+
+The paper's future work includes "evaluating Bouncer against other
+policies in the literature"; this subpackage supplies two of them in a
+form that runs on the same framework:
+
+* :class:`~repro.core.related.gatekeeper.GatekeeperPolicy` — Elnikety et
+  al.'s measurement-based, capacity-centric admission control.
+* :class:`~repro.core.related.qcop.QCopPolicy` — Tozer et al.'s
+  mix-aware processing-time predictor minimizing client timeouts, with the
+  offline regression replaced by an online one.
+
+``benchmarks/bench_related_policies.py`` runs the comparison.
+"""
+
+from .gatekeeper import GatekeeperConfig, GatekeeperPolicy
+from .qcop import QCopConfig, QCopPolicy
+
+__all__ = [
+    "GatekeeperConfig",
+    "GatekeeperPolicy",
+    "QCopConfig",
+    "QCopPolicy",
+]

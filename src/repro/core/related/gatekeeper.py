@@ -1,0 +1,126 @@
+"""Gatekeeper-style admission control (Elnikety et al., WWW 2004; paper §6).
+
+Gatekeeper is the measurement-based, *capacity-centric* policy the paper
+positions Bouncer against: it distinguishes request types, estimates each
+type's service demand from moving averages, and admits a request only while
+the estimated demand of everything currently in the system stays within the
+configured capacity.  Its goal is sustained throughput without overload —
+not latency SLOs — so under Bouncer's experiments it protects the server
+but lets percentile response times drift (that contrast is exactly the
+comparison the paper's future work proposes; see
+``benchmarks/bench_related_policies.py``).
+
+This is a faithful re-creation of the mechanism at the level the paper
+describes it: per-type moving-average service demands, an in-system demand
+ledger, and a capacity threshold.  (The original also proxies and schedules
+requests; those concerns belong to the serving framework here.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...exceptions import ConfigurationError
+from ..context import HostContext
+from ..policy import AdmissionPolicy
+from ..sliding_window import SlidingWindowStats
+from ..types import AdmissionResult, Query, RejectReason
+
+
+@dataclass
+class GatekeeperConfig:
+    """Tunables for :class:`GatekeeperPolicy`.
+
+    Parameters
+    ----------
+    max_outstanding_time:
+        Admission ceiling expressed as *seconds of estimated work per
+        engine process* allowed in the system at once (queued plus
+        executing).  1.0 means "one second of backlog per process" —
+        Gatekeeper's off-line-determined capacity, expressed portably.
+    window / step:
+        Moving-average window for per-type service demands.
+    """
+
+    max_outstanding_time: float = 0.5
+    window: float = 60.0
+    step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding_time <= 0:
+            raise ConfigurationError(
+                f"max_outstanding_time must be > 0, got "
+                f"{self.max_outstanding_time}")
+
+
+class GatekeeperPolicy(AdmissionPolicy):
+    """Admit while estimated in-system demand stays within capacity."""
+
+    name = "gatekeeper"
+
+    def __init__(self, ctx: HostContext,
+                 config: GatekeeperConfig = None) -> None:
+        super().__init__()
+        self._ctx = ctx
+        self._config = config or GatekeeperConfig()
+        # Per-type moving-average service demand, plus an all-types
+        # fallback for unseen types.
+        self._demand: Dict[str, SlidingWindowStats] = {}
+        self._demand_all = SlidingWindowStats(ctx.clock,
+                                              self._config.window,
+                                              self._config.step)
+        # In-system counts per type (enqueued or executing).
+        self._in_system: Dict[str, int] = {}
+
+    @property
+    def config(self) -> GatekeeperConfig:
+        return self._config
+
+    def _demand_stats(self, qtype: str) -> SlidingWindowStats:
+        stats = self._demand.get(qtype)
+        if stats is None:
+            stats = SlidingWindowStats(self._ctx.clock,
+                                       self._config.window,
+                                       self._config.step)
+            self._demand[qtype] = stats
+        return stats
+
+    def _mean_demand(self, qtype: str) -> float:
+        """Estimated service seconds for one query of ``qtype``."""
+        per_type = self._demand_stats(qtype)
+        if per_type.count() > 0:
+            return per_type.mean()
+        return self._demand_all.mean()
+
+    def estimated_outstanding(self) -> float:
+        """Estimated service seconds currently in the system."""
+        total = 0.0
+        for qtype, count in self._in_system.items():
+            if count > 0:
+                total += count * self._mean_demand(qtype)
+        return total
+
+    def _decide(self, query: Query) -> AdmissionResult:
+        capacity = (self._config.max_outstanding_time
+                    * self._ctx.parallelism)
+        projected = (self.estimated_outstanding()
+                     + self._mean_demand(query.qtype))
+        if projected <= capacity:
+            return AdmissionResult.accept()
+        return AdmissionResult.reject(RejectReason.CAPACITY)
+
+    # -- framework hooks: maintain the in-system ledger --------------------
+    def on_enqueued(self, query: Query) -> None:
+        self._in_system[query.qtype] = (
+            self._in_system.get(query.qtype, 0) + 1)
+
+    def on_completed(self, query: Query, wait_time: float,
+                     processing_time: float) -> None:
+        remaining = self._in_system.get(query.qtype, 0) - 1
+        if remaining > 0:
+            self._in_system[query.qtype] = remaining
+        else:
+            self._in_system.pop(query.qtype, None)
+        self._demand_stats(query.qtype).add(processing_time)
+        self._demand_all.add(processing_time)

@@ -1,0 +1,173 @@
+"""Q-Cop-style admission control (Tozer et al., ICDE 2010; paper §6).
+
+Q-Cop predicts an arriving query's processing time from its *type and the
+mix of queries currently in the system*, using a per-type linear model, and
+rejects queries predicted to miss their timeout — its objective is to
+minimize client timeouts, not to enforce percentile SLOs.
+
+The original trains its regression offline; the paper criticizes exactly
+that ("Q-Cop's model ... would need retraining more often than their
+authors anticipate").  This re-creation therefore fits the same model
+*online* with normalized least-mean-squares updates on every completion:
+
+    pt_hat(Q) = w_type . [1, n_1, n_2, ..., n_k]
+
+where ``n_j`` is the number of type-j queries in the system when ``Q``
+starts executing.  The admission rule mirrors Q-Cop's: estimate the queue
+wait (Eq. 5 style), add the predicted processing time, and reject if the
+total exceeds the timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...exceptions import ConfigurationError
+from ..context import HostContext
+from ..policy import AdmissionPolicy
+from ..sliding_window import SlidingWindowStats
+from ..types import AdmissionResult, Query, RejectReason
+
+
+@dataclass
+class QCopConfig:
+    """Tunables for :class:`QCopPolicy`.
+
+    Parameters
+    ----------
+    timeout:
+        The client timeout (seconds) the policy tries not to miss — the
+        deadline Q-Cop minimizes violations of.
+    learning_rate:
+        Normalized-LMS step size for the online model (0 < lr <= 1).
+    window / step:
+        Moving-average window for the queue-wait estimate's ``pt_mavg``.
+    """
+
+    timeout: float = 0.050
+    learning_rate: float = 0.05
+    window: float = 60.0
+    step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got "
+                                     f"{self.timeout}")
+        if not 0 < self.learning_rate <= 1:
+            raise ConfigurationError(
+                f"learning_rate must be in (0, 1], got "
+                f"{self.learning_rate}")
+
+
+class _OnlineLinearModel:
+    """Per-type normalized-LMS regression over mix-count features."""
+
+    __slots__ = ("weights", "samples")
+
+    def __init__(self) -> None:
+        # Sparse weights: feature name -> weight.  "" is the intercept.
+        self.weights: Dict[str, float] = {}
+        self.samples = 0
+
+    def predict(self, features: Dict[str, float]) -> float:
+        total = self.weights.get("", 0.0)
+        for name, value in features.items():
+            total += self.weights.get(name, 0.0) * value
+        return max(total, 0.0)
+
+    def update(self, features: Dict[str, float], target: float,
+               learning_rate: float) -> None:
+        error = target - (self.weights.get("", 0.0)
+                          + sum(self.weights.get(n, 0.0) * v
+                                for n, v in features.items()))
+        norm = 1.0 + sum(v * v for v in features.values())
+        step = learning_rate * error / norm
+        self.weights[""] = self.weights.get("", 0.0) + step
+        for name, value in features.items():
+            self.weights[name] = self.weights.get(name, 0.0) + step * value
+        self.samples += 1
+
+
+class QCopPolicy(AdmissionPolicy):
+    """Reject queries whose predicted response time misses the timeout."""
+
+    name = "qcop"
+
+    def __init__(self, ctx: HostContext, config: QCopConfig = None) -> None:
+        super().__init__()
+        self._ctx = ctx
+        self._config = config or QCopConfig()
+        self._models: Dict[str, _OnlineLinearModel] = {}
+        self._pt_mavg = SlidingWindowStats(ctx.clock, self._config.window,
+                                           self._config.step)
+        # In-system counts per type (the "query mix" feature source).
+        self._in_system: Dict[str, int] = {}
+        # Features captured when each query starts executing, keyed by id.
+        self._pending_features: Dict[int, Dict[str, float]] = {}
+
+    @property
+    def config(self) -> QCopConfig:
+        return self._config
+
+    def _model(self, qtype: str) -> _OnlineLinearModel:
+        model = self._models.get(qtype)
+        if model is None:
+            model = _OnlineLinearModel()
+            self._models[qtype] = model
+        return model
+
+    def _mix_features(self) -> Dict[str, float]:
+        return {qtype: float(count)
+                for qtype, count in self._in_system.items() if count > 0}
+
+    def predict_processing(self, qtype: str) -> float:
+        """Model prediction; global moving average while still untrained.
+
+        The candidate query itself joins the mix it would run with, so the
+        feature vector matches the training-time one (captured at dequeue,
+        when the query is in the system).
+        """
+        model = self._model(qtype)
+        if model.samples < 5:
+            return self._pt_mavg.mean()
+        features = self._mix_features()
+        features[qtype] = features.get(qtype, 0.0) + 1.0
+        return model.predict(features)
+
+    def estimate_wait_mean(self) -> float:
+        """Eq. 5 style: ``l * pt_mavg / P``."""
+        length = self._ctx.queue.length()
+        if length == 0:
+            return 0.0
+        return length * self._pt_mavg.mean() / self._ctx.parallelism
+
+    def _decide(self, query: Query) -> AdmissionResult:
+        predicted = self.estimate_wait_mean() + self.predict_processing(
+            query.qtype)
+        if predicted <= self._config.timeout:
+            return AdmissionResult.accept()
+        return AdmissionResult.reject(RejectReason.EXPECTED_TIMEOUT,
+                                      estimates={50: predicted})
+
+    # -- framework hooks ----------------------------------------------------
+    def on_enqueued(self, query: Query) -> None:
+        self._in_system[query.qtype] = (
+            self._in_system.get(query.qtype, 0) + 1)
+
+    def on_dequeued(self, query: Query, wait_time: float) -> None:
+        # The mix the query will execute against is the mix *now*.
+        self._pending_features[query.query_id] = self._mix_features()
+
+    def on_completed(self, query: Query, wait_time: float,
+                     processing_time: float) -> None:
+        remaining = self._in_system.get(query.qtype, 0) - 1
+        if remaining > 0:
+            self._in_system[query.qtype] = remaining
+        else:
+            self._in_system.pop(query.qtype, None)
+        self._pt_mavg.add(processing_time)
+        features = self._pending_features.pop(query.query_id, None)
+        if features is not None:
+            self._model(query.qtype).update(features, processing_time,
+                                            self._config.learning_rate)

@@ -1,0 +1,202 @@
+"""Starvation-avoidance strategies supplementing Bouncer (paper §4).
+
+Under Bouncer's basic formulation, query types whose processing times sit
+closest to the SLO can be rejected systematically — near 100% — while
+cheaper types sail through (the paper's Figure 3).  Two strategies prevent
+that:
+
+* :class:`AcceptanceAllowancePolicy` (Algorithm 2) guarantees each type a
+  small acceptance allowance ``A`` over a sliding window: queries are
+  force-accepted while the type's windowed acceptance ratio is below ``A``,
+  and rejections are additionally overridden on the spot with probability
+  ``A``.
+
+* :class:`HelpingTheUnderservedPolicy` (Algorithm 3) compares each type's
+  acceptance ratio ``AR`` with the average across types ``AAR`` and
+  overrides rejections with probability ``p = alpha * x / (1 + x)`` where
+  ``x = (AAR - AR) / AAR`` — a sigmoid that helps unfavoured types without
+  handing them everything.
+
+Both are implemented as *wrappers*: they hold an inner policy (normally
+:class:`~repro.core.bouncer.BouncerPolicy`, but any
+:class:`~repro.core.policy.AdmissionPolicy` works) and consult it per the
+paper's pseudocode.  Framework hooks are forwarded so the inner policy's
+histograms keep learning — which is also how the allowance strategy "ensures
+that the processing time histograms Bouncer uses for admission decisions get
+populated" (§4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from .clock import Clock
+from .policy import AdmissionPolicy
+from .sliding_window import SlidingWindowCounts
+from .types import AdmissionResult, Query
+
+#: Default sliding-window duration (the paper's example: D = 1s).
+DEFAULT_WINDOW = 1.0
+#: Default sliding-window step (the paper's example: delta = 10ms).
+DEFAULT_STEP = 0.01
+
+
+class _StarvationWrapper(AdmissionPolicy):
+    """Shared plumbing for both strategies: window, RNG, hook forwarding."""
+
+    def __init__(self, inner: AdmissionPolicy, clock: Clock,
+                 window: float = DEFAULT_WINDOW, step: float = DEFAULT_STEP,
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__()
+        self._inner = inner
+        self._window = SlidingWindowCounts(clock, duration=window, step=step)
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._overrides = 0
+
+    @property
+    def inner(self) -> AdmissionPolicy:
+        """The wrapped policy (normally Bouncer)."""
+        return self._inner
+
+    @property
+    def window(self) -> SlidingWindowCounts:
+        return self._window
+
+    @property
+    def override_count(self) -> int:
+        """How many inner rejections this strategy flipped to acceptances."""
+        return self._overrides
+
+    # Forward the framework hooks so the inner policy keeps learning.
+    def on_enqueued(self, query: Query) -> None:
+        self._inner.on_enqueued(query)
+
+    def on_dequeued(self, query: Query, wait_time: float) -> None:
+        self._inner.on_dequeued(query, wait_time)
+
+    def on_completed(self, query: Query, wait_time: float,
+                     processing_time: float) -> None:
+        self._inner.on_completed(query, wait_time, processing_time)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self._inner.reset_stats()
+
+
+class AcceptanceAllowancePolicy(_StarvationWrapper):
+    """Algorithm 2: a fixed acceptance allowance per query type.
+
+    ``allowance=0.01`` means "we are willing to give free passes to up to 1%
+    of the queries of each type over the span of the sliding window".  The
+    same allowance applies to every type so the strategy has few knobs
+    (paper §4.1).
+    """
+
+    name = "bouncer+acceptance-allowance"
+
+    def __init__(self, inner: AdmissionPolicy, clock: Clock,
+                 allowance: float = 0.05, window: float = DEFAULT_WINDOW,
+                 step: float = DEFAULT_STEP, seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if not 0.0 <= allowance <= 1.0:
+            raise ConfigurationError(
+                f"allowance must be in [0, 1], got {allowance}")
+        super().__init__(inner, clock, window, step, seed, rng)
+        self._allowance = float(allowance)
+
+    @property
+    def allowance(self) -> float:
+        return self._allowance
+
+    def _decide(self, query: Query) -> AdmissionResult:
+        qtype = query.qtype
+        accepted_count = self._window.accepted_count(qtype)
+        received_count = self._window.received_count(qtype)
+
+        result: Optional[AdmissionResult] = None
+        if received_count == 0:
+            # First query of this type in the window: always let it in, so
+            # types never disappear entirely and histograms stay populated.
+            result = AdmissionResult.accept(overridden=True)
+        elif accepted_count / received_count < self._allowance:
+            # Historical part: the type is under its allowance.
+            result = AdmissionResult.accept(overridden=True)
+
+        if result is None:
+            result = self._inner.decide(query)
+
+        if not result.accepted and self._rng.random() < self._allowance:
+            # "On the spot" part: override the rejection with probability A.
+            result = AdmissionResult.accept(estimates=result.estimates,
+                                            overridden=True)
+
+        if result.overridden:
+            self._overrides += 1
+        self._window.record(qtype, result.accepted)
+        return result
+
+
+class HelpingTheUnderservedPolicy(_StarvationWrapper):
+    """Algorithm 3: probabilistically help types treated unfavourably.
+
+    After an inner rejection, if the type's acceptance ratio ``AR`` is below
+    the average acceptance ratio ``AAR`` across the recognized types, the
+    rejection is overridden with probability
+    ``p = alpha * x / (1 + x)``, ``x = (AAR - AR) / AAR``.
+    With ``alpha = 1`` the override probability approaches 0.5 for the most
+    starved types (``AR -> 0`` gives ``x -> 1``).
+
+    Parameters
+    ----------
+    qtypes:
+        The set ``QT`` over which ``AAR`` averages.  When omitted, the types
+        observed in the current window are used; the paper's formulation
+        averages over the policy's configured types, so experiments pass the
+        configured list explicitly.
+    """
+
+    name = "bouncer+helping-the-underserved"
+
+    def __init__(self, inner: AdmissionPolicy, clock: Clock,
+                 alpha: float = 1.0, window: float = DEFAULT_WINDOW,
+                 step: float = DEFAULT_STEP,
+                 qtypes: Optional[Iterable[str]] = None,
+                 seed: Optional[int] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {alpha}")
+        super().__init__(inner, clock, window, step, seed, rng)
+        self._alpha = float(alpha)
+        self._qtypes: Optional[Sequence[str]] = (
+            tuple(qtypes) if qtypes is not None else None)
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def override_probability(self, ar: float, aar: float) -> float:
+        """The sigmoid-scaled probability of overriding a rejection."""
+        if aar <= 0.0 or ar >= aar:
+            return 0.0
+        x = (aar - ar) / aar
+        return self._alpha * x / (1.0 + x)
+
+    def _decide(self, query: Query) -> AdmissionResult:
+        qtype = query.qtype
+        result = self._inner.decide(query)
+        if not result.accepted:
+            ar = self._window.acceptance_ratio(qtype)
+            qtypes = (self._qtypes if self._qtypes is not None
+                      else self._window.observed_keys() or [qtype])
+            aar = self._window.average_acceptance_ratio(qtypes)
+            probability = self.override_probability(ar, aar)
+            if probability > 0.0 and self._rng.random() < probability:
+                result = AdmissionResult.accept(estimates=result.estimates,
+                                                overridden=True)
+                self._overrides += 1
+        self._window.record(qtype, result.accepted)
+        return result

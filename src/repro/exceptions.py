@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A policy, workload, or system component was configured incorrectly.
+
+    Raised eagerly at construction time (never mid-run) so that a bad
+    deployment fails fast instead of silently misbehaving under load.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class QueryRejectedError(ReproError):
+    """A query submitted to a real runtime server was rejected.
+
+    Carries the :class:`~repro.core.types.AdmissionResult` that explains the
+    rejection, mirroring the error response a LIquid broker would return.
+    """
+
+    def __init__(self, result) -> None:
+        super().__init__(f"query rejected: {result}")
+        self.result = result
+
+
+class ShuttingDownError(ReproError):
+    """A query was submitted to a runtime server that is shutting down."""
+
+
+class DeadlineExceededError(ReproError):
+    """An admitted query expired before (or while) being processed.
+
+    Mirrors LIquid's behaviour: "brokers and shards also enforce expiration
+    times for admitted queries" (§5.1) — an expired query is dropped at
+    dequeue instead of wasting engine time on a response nobody will read.
+    """

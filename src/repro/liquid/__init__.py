@@ -1,0 +1,70 @@
+"""LIquid-style in-memory distributed graph database substrate (§5.1/§5.4).
+
+Two complementary pieces:
+
+* a **real store** — :class:`~repro.liquid.service.LiquidService` over
+  sharded :class:`~repro.liquid.storage.EdgeStore` instances, executing
+  actual :class:`~repro.liquid.query.GraphQuery` objects; and
+* a **cluster model** — :mod:`repro.liquid.cluster_sim`, the event-driven
+  broker/shard queueing network the §5.4 experiments run on.
+"""
+
+from .cluster_sim import (FANOUT_ALL, FANOUT_ONE, BrokerHost, ClusterConfig,
+                          ClusterMetrics, ClusterReport, LiquidClusterSim,
+                          QueryTypeCost, ShardHost, run_cluster_simulation)
+from .engine import ShardEngine
+from .partition import HashPartitioner, stable_hash
+from .query import (CountQuery, DistanceQuery, EdgeQuery, FanoutQuery,
+                    GraphQuery, QueryResult, SubQuery)
+from .rules import PathQuery, Rule, RuleEngine, parse_rule
+from .service import LiquidService, build_random_graph
+from .snapshot import load_snapshot, read_manifest, save_snapshot
+from .storage import EdgeStore
+from .traces import (LINKEDIN_MIX, linkedin_cost_table,
+                     linkedin_mix_proportions, sample_graph_queries)
+from .updates import (EdgeUpdate, ShardConsumer, UpdateLog, UpdateOp,
+                      UpdatePipeline)
+from .vlist import VList
+
+__all__ = [
+    "BrokerHost",
+    "ClusterConfig",
+    "ClusterMetrics",
+    "ClusterReport",
+    "CountQuery",
+    "DistanceQuery",
+    "EdgeQuery",
+    "EdgeStore",
+    "EdgeUpdate",
+    "FANOUT_ALL",
+    "FANOUT_ONE",
+    "FanoutQuery",
+    "GraphQuery",
+    "HashPartitioner",
+    "LINKEDIN_MIX",
+    "LiquidClusterSim",
+    "LiquidService",
+    "PathQuery",
+    "QueryResult",
+    "QueryTypeCost",
+    "Rule",
+    "RuleEngine",
+    "ShardConsumer",
+    "ShardEngine",
+    "ShardHost",
+    "SubQuery",
+    "UpdateLog",
+    "UpdateOp",
+    "UpdatePipeline",
+    "VList",
+    "build_random_graph",
+    "linkedin_cost_table",
+    "load_snapshot",
+    "parse_rule",
+    "read_manifest",
+    "save_snapshot",
+    "linkedin_mix_proportions",
+    "run_cluster_simulation",
+    "sample_graph_queries",
+    "stable_hash",
+]

@@ -1,0 +1,28 @@
+"""Shard-local sub-query evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .query import SubQuery
+from .storage import EdgeStore
+
+
+class ShardEngine:
+    """Evaluates sub-queries against one shard's :class:`EdgeStore`.
+
+    A broker sends a shard only the vertices that shard owns, so the engine
+    simply looks each vertex up; unknown vertices yield empty neighbor
+    lists (a vertex with no edges is indistinguishable from an absent one,
+    as in any edge-set store).
+    """
+
+    def __init__(self, store: EdgeStore) -> None:
+        self.store = store
+
+    def execute(self, subquery: SubQuery) -> Dict[str, List[str]]:
+        """Return ``{vertex: neighbors}`` for every vertex in the batch."""
+        lookup = (self.store.out_neighbors if subquery.direction == "out"
+                  else self.store.in_neighbors)
+        return {vertex: lookup(vertex, subquery.label)
+                for vertex in subquery.vertices}

@@ -1,0 +1,215 @@
+"""Graph query vocabulary for the LIquid-style database.
+
+Queries are the client-facing requests a broker answers; *sub-queries* are
+the per-shard work items a broker issues while answering one.  "Answering a
+query involves one or more communication rounds between the broker and the
+shards" (§5.1) — the round structure here is exactly that: each query
+declares how its evaluation proceeds round by round.
+
+The concrete query classes mirror the paper's motivating examples (§2):
+"simple edge queries, which return the vertices directly connected to a
+given vertex, are usually fast, while graph distance queries, which
+determine the shortest distance between two vertices, can take longer."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SubQuery:
+    """One shard-local work item: fetch neighbors of a vertex batch."""
+
+    vertices: Tuple[str, ...]
+    label: str
+    #: "out" follows edges forward, "in" backward.
+    direction: str = "out"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("out", "in"):
+            raise ConfigurationError(
+                f"direction must be 'out' or 'in', got {self.direction!r}")
+
+
+@dataclass
+class QueryResult:
+    """What a broker returns to the client."""
+
+    value: object
+    rounds: int = 0
+    subqueries: int = 0
+
+
+class GraphQuery:
+    """Base class for broker-evaluable queries.
+
+    Subclasses implement an explicit round-based protocol driven by the
+    broker:
+
+    * :meth:`start` returns the first round's sub-query batch;
+    * :meth:`advance` consumes a round's shard results and returns either
+      the next round's batch or ``None`` when finished;
+    * :meth:`result` yields the final answer.
+
+    The protocol keeps all cross-round state inside the query object, so a
+    broker can interleave many queries without bookkeeping of its own.
+    """
+
+    #: Query type string used for admission control and SLO lookup.
+    qtype: str = "query"
+
+    def start(self) -> List[SubQuery]:
+        """Return the first round's sub-query batch (empty = no work)."""
+        raise NotImplementedError
+
+    def advance(self, shard_results: Dict[str, List[str]]
+                ) -> Optional[List[SubQuery]]:
+        """Consume one round's results (vertex -> neighbor list)."""
+        raise NotImplementedError
+
+    def result(self) -> QueryResult:
+        """The final answer; valid once :meth:`advance` returned ``None``."""
+        raise NotImplementedError
+
+
+class EdgeQuery(GraphQuery):
+    """Vertices directly connected to ``src`` via ``label`` (one round)."""
+
+    qtype = "edge"
+
+    def __init__(self, src: str, label: str, direction: str = "out") -> None:
+        self.src = src
+        self.label = label
+        self.direction = direction
+        self._neighbors: Optional[List[str]] = None
+
+    def start(self) -> List[SubQuery]:
+        return [SubQuery((self.src,), self.label, self.direction)]
+
+    def advance(self, shard_results: Dict[str, List[str]]
+                ) -> Optional[List[SubQuery]]:
+        self._neighbors = sorted(shard_results.get(self.src, []))
+        return None
+
+    def result(self) -> QueryResult:
+        return QueryResult(value=self._neighbors or [])
+
+
+class CountQuery(GraphQuery):
+    """Degree of ``src`` under ``label`` (one round, tiny response)."""
+
+    qtype = "count"
+
+    def __init__(self, src: str, label: str) -> None:
+        self.src = src
+        self.label = label
+        self._count = 0
+
+    def start(self) -> List[SubQuery]:
+        return [SubQuery((self.src,), self.label)]
+
+    def advance(self, shard_results: Dict[str, List[str]]
+                ) -> Optional[List[SubQuery]]:
+        self._count = len(shard_results.get(self.src, []))
+        return None
+
+    def result(self) -> QueryResult:
+        return QueryResult(value=self._count)
+
+
+class FanoutQuery(GraphQuery):
+    """Distinct vertices within two hops of ``src`` (two rounds).
+
+    Round 1 fetches ``src``'s neighbors; round 2 fetches theirs.  The
+    second round fans out across shards, making this the archetypal
+    "medium" query.
+    """
+
+    qtype = "fanout2"
+
+    def __init__(self, src: str, label: str,
+                 limit: Optional[int] = None) -> None:
+        self.src = src
+        self.label = label
+        self.limit = limit
+        self._round = 0
+        self._first_hop: List[str] = []
+        self._second_hop: List[str] = []
+
+    def start(self) -> List[SubQuery]:
+        self._round = 1
+        return [SubQuery((self.src,), self.label)]
+
+    def advance(self, shard_results: Dict[str, List[str]]
+                ) -> Optional[List[SubQuery]]:
+        if self._round == 1:
+            self._round = 2
+            self._first_hop = sorted(shard_results.get(self.src, []))
+            frontier = self._first_hop
+            if self.limit is not None:
+                frontier = frontier[:self.limit]
+            if not frontier:
+                return None
+            return [SubQuery(tuple(frontier), self.label)]
+        seen = set()
+        for neighbors in shard_results.values():
+            seen.update(neighbors)
+        seen.discard(self.src)
+        seen.difference_update(self._first_hop)
+        self._second_hop = sorted(seen)
+        return None
+
+    def result(self) -> QueryResult:
+        return QueryResult(value=self._second_hop)
+
+
+class DistanceQuery(GraphQuery):
+    """Shortest hop distance from ``src`` to ``dst`` (BFS, many rounds).
+
+    Each BFS level is one broker-shard communication round, so distance
+    queries naturally take the longest — the paper's example of a "slow"
+    query type.  Returns -1 when ``dst`` is unreachable within
+    ``max_hops``.
+    """
+
+    qtype = "distance"
+
+    def __init__(self, src: str, dst: str, label: str,
+                 max_hops: int = 6) -> None:
+        if max_hops < 1:
+            raise ConfigurationError(f"max_hops must be >= 1, got {max_hops}")
+        self.src = src
+        self.dst = dst
+        self.label = label
+        self.max_hops = max_hops
+        self._level = 0
+        self._visited = {src}
+        self._distance = 0 if src == dst else -1
+
+    def start(self) -> List[SubQuery]:
+        if self._distance == 0:
+            return []
+        self._level = 1
+        return [SubQuery((self.src,), self.label)]
+
+    def advance(self, shard_results: Dict[str, List[str]]
+                ) -> Optional[List[SubQuery]]:
+        frontier = set()
+        for neighbors in shard_results.values():
+            frontier.update(neighbors)
+        if self.dst in frontier:
+            self._distance = self._level
+            return None
+        frontier.difference_update(self._visited)
+        self._visited.update(frontier)
+        if not frontier or self._level >= self.max_hops:
+            return None
+        self._level += 1
+        return [SubQuery(tuple(sorted(frontier)), self.label)]
+
+    def result(self) -> QueryResult:
+        return QueryResult(value=self._distance)

@@ -1,0 +1,255 @@
+"""Named, datalog-like query rules (the paper's query-type strings, §3).
+
+The paper assumes "every request includes a short string indicating the
+type of the query it carries (e.g., part of the REST URL endpoint's path or
+the name of a datalog-like rule)".  In LIquid, clients invoke *named
+rules*; the rule name doubles as the admission-control query type, which is
+what lets operators attach SLOs to business-meaningful names like
+``GetFriends`` instead of raw query shapes.
+
+This module provides that layer for the real store: a tiny path-expression
+rule language, a registry binding rule names to compiled plans, and a
+:class:`RuleEngine` that executes invocations against a
+:class:`~repro.liquid.service.LiquidService` — and produces
+:class:`~repro.core.types.Query` objects typed by rule name, ready for an
+admission-controlled server.
+
+Rule grammar (one body per rule)::
+
+    name := ident '(' params ')' ':-' body
+    body :=
+        'edges'    '(' label ['.in'] ')'                 -- neighbor list
+      | 'count'    '(' label ['.in'] ')'                 -- degree
+      | 'path'     '(' label ('/' label)+ ')'            -- k-hop fan-out
+      | 'distance' '(' label ',' max_hops ')'            -- BFS distance
+
+Examples::
+
+    GetFriends(src)        :- edges(knows)
+    GetFollowers(src)      :- edges(follows.in)
+    FriendCount(src)       :- count(knows)
+    FriendsOfFriends(src)  :- path(knows/knows)
+    GraphDistance(src,dst) :- distance(knows, 6)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import Query
+from ..exceptions import ConfigurationError
+from .query import (CountQuery, DistanceQuery, EdgeQuery, GraphQuery,
+                    QueryResult, SubQuery)
+from .service import LiquidService
+
+_RULE_RE = re.compile(
+    r"^\s*(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"\(\s*(?P<params>[A-Za-z0-9_,\s]*)\s*\)\s*"
+    r":-\s*(?P<kind>edges|count|path|distance)\s*"
+    r"\(\s*(?P<args>[^)]*)\s*\)\s*$")
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One hop of a path plan: follow ``label`` forward or backward."""
+
+    label: str
+    direction: str = "out"
+
+
+class PathQuery(GraphQuery):
+    """Distinct vertices reached by following a label path from ``src``.
+
+    Each step is one broker-shard round; longer paths are costlier — the
+    rule language's way of expressing multi-round queries.
+    """
+
+    qtype = "path"
+
+    def __init__(self, src: str, steps: List[_Step],
+                 limit: Optional[int] = 512) -> None:
+        if not steps:
+            raise ConfigurationError("a path needs at least one step")
+        self.src = src
+        self.steps = list(steps)
+        self.limit = limit
+        self._cursor = 0
+        self._frontier: Tuple[str, ...] = (src,)
+        self._result: List[str] = []
+
+    def _subquery(self) -> List[SubQuery]:
+        step = self.steps[self._cursor]
+        return [SubQuery(self._frontier, step.label, step.direction)]
+
+    def start(self) -> List[SubQuery]:
+        self._cursor = 0
+        return self._subquery()
+
+    def advance(self, shard_results: Dict[str, List[str]]
+                ) -> Optional[List[SubQuery]]:
+        reached = set()
+        for neighbors in shard_results.values():
+            reached.update(neighbors)
+        reached.discard(self.src)
+        frontier = sorted(reached)
+        if self.limit is not None:
+            frontier = frontier[:self.limit]
+        self._cursor += 1
+        if self._cursor >= len(self.steps) or not frontier:
+            self._result = frontier
+            return None
+        self._frontier = tuple(frontier)
+        return self._subquery()
+
+    def result(self) -> QueryResult:
+        return QueryResult(value=self._result)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A compiled rule: a name, its parameters, and a plan builder."""
+
+    name: str
+    params: Tuple[str, ...]
+    kind: str
+    labels: Tuple[_Step, ...]
+    max_hops: int = 6
+
+    def instantiate(self, *args: str) -> GraphQuery:
+        """Bind arguments and build the executable query."""
+        if len(args) != len(self.params):
+            raise ConfigurationError(
+                f"rule {self.name} takes {len(self.params)} argument(s) "
+                f"({', '.join(self.params)}), got {len(args)}")
+        if self.kind == "edges":
+            step = self.labels[0]
+            return EdgeQuery(args[0], step.label, direction=step.direction)
+        if self.kind == "count":
+            step = self.labels[0]
+            if step.direction != "out":
+                raise ConfigurationError(
+                    "count() does not support '.in' labels")
+            return CountQuery(args[0], step.label)
+        if self.kind == "path":
+            return PathQuery(args[0], list(self.labels))
+        if self.kind == "distance":
+            return DistanceQuery(args[0], args[1], self.labels[0].label,
+                                 max_hops=self.max_hops)
+        raise ConfigurationError(f"unknown rule kind {self.kind!r}")
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse one rule definition line into a :class:`Rule`."""
+    match = _RULE_RE.match(text)
+    if not match:
+        raise ConfigurationError(f"cannot parse rule: {text!r}")
+    name = match.group("name")
+    params = tuple(p.strip() for p in match.group("params").split(",")
+                   if p.strip())
+    kind = match.group("kind")
+    args = match.group("args").strip()
+
+    def step_of(token: str) -> _Step:
+        token = token.strip()
+        if token.endswith(".in"):
+            label = token[:-3].strip()
+            direction = "in"
+        else:
+            label = token
+            direction = "out"
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", label):
+            raise ConfigurationError(f"bad edge label {token!r} in {name}")
+        return _Step(label, direction)
+
+    if kind in ("edges", "count"):
+        if not args or "," in args or "/" in args:
+            raise ConfigurationError(
+                f"{kind}() takes exactly one label in rule {name}")
+        labels: Tuple[_Step, ...] = (step_of(args),)
+        expected_params = 1
+        max_hops = 0
+    elif kind == "path":
+        parts = [p for p in args.split("/") if p.strip()]
+        if len(parts) < 1:
+            raise ConfigurationError(
+                f"path() needs at least one label in rule {name}")
+        labels = tuple(step_of(p) for p in parts)
+        expected_params = 1
+        max_hops = 0
+    else:  # distance
+        parts = [p.strip() for p in args.split(",")]
+        if len(parts) != 2:
+            raise ConfigurationError(
+                f"distance() takes (label, max_hops) in rule {name}")
+        labels = (step_of(parts[0]),)
+        try:
+            max_hops = int(parts[1])
+        except ValueError:
+            raise ConfigurationError(
+                f"distance() max_hops must be an integer in rule "
+                f"{name}") from None
+        if max_hops < 1:
+            raise ConfigurationError(
+                f"distance() max_hops must be >= 1 in rule {name}")
+        expected_params = 2
+
+    if len(params) != expected_params:
+        raise ConfigurationError(
+            f"rule {name} must declare {expected_params} parameter(s) for "
+            f"{kind}(), got {len(params)}")
+    return Rule(name=name, params=params, kind=kind, labels=labels,
+                max_hops=max_hops)
+
+
+class RuleEngine:
+    """A named-rule front end over a :class:`LiquidService`.
+
+    Register rules once, then invoke them by name; invocations carry the
+    rule name as their admission-control query type.
+    """
+
+    def __init__(self, service: LiquidService) -> None:
+        self.service = service
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, text: str) -> Rule:
+        """Parse and register one rule; returns it."""
+        rule = parse_rule(text)
+        if rule.name in self._rules:
+            raise ConfigurationError(f"rule {rule.name} already registered")
+        self._rules[rule.name] = rule
+        return rule
+
+    def register_all(self, texts) -> List[Rule]:
+        """Parse and register several rule definition lines."""
+        return [self.register(text) for text in texts]
+
+    def rule(self, name: str) -> Rule:
+        """Look a registered rule up by name."""
+        try:
+            return self._rules[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown rule {name!r}") from None
+
+    def rule_names(self) -> Tuple[str, ...]:
+        """Registered rule names — the query types to attach SLOs to."""
+        return tuple(sorted(self._rules))
+
+    def invoke(self, name: str, *args: str) -> QueryResult:
+        """Execute a rule immediately against the service."""
+        return self.service.execute(self.rule(name).instantiate(*args))
+
+    def request(self, name: str, *args: str) -> Query:
+        """Build an admission-ready :class:`Query` for a rule invocation.
+
+        The query's ``qtype`` is the rule name and its payload is the
+        executable graph query — exactly what an
+        :class:`~repro.runtime.server.AdmissionServer` handler needs::
+
+            server = AdmissionServer(policy_factory,
+                                     lambda q: service.execute(q.payload))
+            server.submit(engine.request("GetFriends", "v42"))
+        """
+        return Query(qtype=name, payload=self.rule(name).instantiate(*args))

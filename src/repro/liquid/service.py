@@ -1,0 +1,129 @@
+"""An in-process LIquid-style graph database: broker + shards, for real.
+
+:class:`LiquidService` is a working miniature of the two-tier architecture
+in the paper's Figure 5: data is hash-partitioned over shard-local
+:class:`~repro.liquid.storage.EdgeStore` instances, and a broker evaluates
+:class:`~repro.liquid.query.GraphQuery` objects by running their round
+protocol — grouping each round's vertices by owning shard, executing the
+per-shard sub-queries, merging the results, and feeding them back to the
+query until it completes.
+
+This is the substrate the runnable examples and the real-runtime
+integration tests execute actual graph queries against.  (The §5.4
+*performance* experiments use the event-driven cluster model in
+:mod:`repro.liquid.cluster_sim` instead, because reproducing a 180K-QPS
+cluster's queueing behaviour in real time is not feasible in-process.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from .engine import ShardEngine
+from .partition import HashPartitioner
+from .query import GraphQuery, QueryResult, SubQuery
+from .storage import EdgeStore
+
+
+class LiquidService:
+    """A broker plus ``num_shards`` in-memory shards, in one process."""
+
+    def __init__(self, num_shards: int = 4) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}")
+        self.partitioner = HashPartitioner(num_shards)
+        self.shards: List[ShardEngine] = [ShardEngine(EdgeStore())
+                                          for _ in range(num_shards)]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard hosts this service spreads the graph over."""
+        return len(self.shards)
+
+    # -- data plane --------------------------------------------------------
+    def add_edge(self, src: str, label: str, dst: str) -> bool:
+        """Route an edge insert to the shard owning ``src``."""
+        shard = self.shards[self.partitioner.shard_for(src)]
+        return shard.store.add_edge(src, label, dst)
+
+    def remove_edge(self, src: str, label: str, dst: str) -> bool:
+        """Route an edge removal to the shard owning ``src``."""
+        shard = self.shards[self.partitioner.shard_for(src)]
+        return shard.store.remove_edge(src, label, dst)
+
+    def load_edges(self, edges: Iterable[Tuple[str, str, str]]) -> int:
+        """Bulk-load ``(src, label, dst)`` triples; returns inserts."""
+        inserted = 0
+        for src, label, dst in edges:
+            if self.add_edge(src, label, dst):
+                inserted += 1
+        return inserted
+
+    @property
+    def edge_count(self) -> int:
+        """Total live edges across all shards."""
+        return sum(engine.store.edge_count for engine in self.shards)
+
+    # -- query plane (the broker) -------------------------------------------
+    def execute(self, query: GraphQuery) -> QueryResult:
+        """Run a query's round protocol to completion and return its result."""
+        batch: Optional[List[SubQuery]] = query.start()
+        rounds = 0
+        subqueries = 0
+        while batch:
+            rounds += 1
+            merged: Dict[str, List[str]] = {}
+            for subquery in batch:
+                if subquery.direction == "out":
+                    # Outgoing edges live on the source vertex's shard.
+                    groups = self.partitioner.group_by_shard(
+                        list(subquery.vertices))
+                    for shard_idx, vertices in enumerate(groups):
+                        if not vertices:
+                            continue
+                        subqueries += 1
+                        shard_sub = SubQuery(tuple(vertices), subquery.label,
+                                             subquery.direction)
+                        merged.update(
+                            self.shards[shard_idx].execute(shard_sub))
+                else:
+                    # Incoming edges may originate on any shard: fan out to
+                    # all and concatenate each vertex's partial results.
+                    for shard in self.shards:
+                        subqueries += 1
+                        partial = shard.execute(subquery)
+                        for vertex, sources in partial.items():
+                            merged.setdefault(vertex, []).extend(sources)
+            batch = query.advance(merged)
+        result = query.result()
+        result.rounds = rounds
+        result.subqueries = subqueries
+        return result
+
+
+def build_random_graph(num_vertices: int, avg_degree: float, label: str,
+                       seed: int = 0,
+                       num_shards: int = 4) -> LiquidService:
+    """A loaded service over an Erdős–Rényi-style random graph.
+
+    Used by examples and tests as a stand-in for a production corpus: the
+    paper's Economic Graph is obviously unavailable, and the admission
+    control machinery only cares that queries have realistic fan-out.
+    """
+    if num_vertices < 2:
+        raise ConfigurationError("need at least 2 vertices")
+    if avg_degree <= 0:
+        raise ConfigurationError("avg_degree must be > 0")
+    service = LiquidService(num_shards=num_shards)
+    rng = random.Random(seed)
+    vertices = [f"v{i}" for i in range(num_vertices)]
+    total_edges = int(num_vertices * avg_degree)
+    for _ in range(total_edges):
+        src = vertices[rng.randrange(num_vertices)]
+        dst = vertices[rng.randrange(num_vertices)]
+        if src != dst:
+            service.add_edge(src, label, dst)
+    return service

@@ -1,0 +1,126 @@
+"""Shard-local in-memory edge storage (the LIquid data plane, §5.1).
+
+A LIquid shard "stores and indexes the data in memory" with nanosecond
+hash-map lookups.  :class:`EdgeStore` models a shard's slice of the graph
+as a set of labelled directed edges ``(src, label, dst)``, indexed both
+ways:
+
+* ``(src, label) -> VList of dst``   (outgoing adjacency), and
+* ``(dst, label) -> VList of src``   (incoming adjacency),
+
+so edge queries in either direction are O(1 + degree).  Duplicate edges are
+ignored; deletions are tombstoned (the VLists are append-only) and filtered
+on read, which mirrors how log-structured in-memory indexes absorb the
+continuous update feed LIquid receives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .vlist import VList
+
+Vertex = str
+Label = str
+EdgeKey = Tuple[Vertex, Label, Vertex]
+
+
+class EdgeStore:
+    """One shard's in-memory, doubly-indexed edge set."""
+
+    def __init__(self) -> None:
+        self._out: Dict[Tuple[Vertex, Label], VList] = {}
+        self._in: Dict[Tuple[Vertex, Label], VList] = {}
+        self._edges: Set[EdgeKey] = set()
+        self._tombstones: Set[EdgeKey] = set()
+
+    # -- writes (the update feed) ----------------------------------------
+    def add_edge(self, src: Vertex, label: Label, dst: Vertex) -> bool:
+        """Insert one edge; returns False if it already exists."""
+        key = (src, label, dst)
+        if key in self._edges:
+            return False
+        self._tombstones.discard(key)
+        self._edges.add(key)
+        self._out.setdefault((src, label), VList()).append(dst)
+        self._in.setdefault((dst, label), VList()).append(src)
+        return True
+
+    def remove_edge(self, src: Vertex, label: Label, dst: Vertex) -> bool:
+        """Tombstone one edge; returns False if it was not present."""
+        key = (src, label, dst)
+        if key not in self._edges:
+            return False
+        self._edges.discard(key)
+        self._tombstones.add(key)
+        return True
+
+    # -- reads (sub-query evaluation) -------------------------------------
+    def has_edge(self, src: Vertex, label: Label, dst: Vertex) -> bool:
+        """True when the edge is live (inserted and not tombstoned)."""
+        return (src, label, dst) in self._edges
+
+    def out_neighbors(self, src: Vertex, label: Label) -> List[Vertex]:
+        """Destinations of live ``label`` edges leaving ``src``."""
+        vlist = self._out.get((src, label))
+        if vlist is None:
+            return []
+        seen: Set[Vertex] = set()
+        result = []
+        for dst in vlist:
+            if dst in seen:
+                continue
+            seen.add(dst)
+            if (src, label, dst) in self._edges:
+                result.append(dst)
+        return result
+
+    def in_neighbors(self, dst: Vertex, label: Label) -> List[Vertex]:
+        """Sources of live ``label`` edges arriving at ``dst``."""
+        vlist = self._in.get((dst, label))
+        if vlist is None:
+            return []
+        seen: Set[Vertex] = set()
+        result = []
+        for src in vlist:
+            if src in seen:
+                continue
+            seen.add(src)
+            if (src, label, dst) in self._edges:
+                result.append(src)
+        return result
+
+    def out_degree(self, src: Vertex, label: Label) -> int:
+        """Number of live ``label`` edges leaving ``src``."""
+        return len(self.out_neighbors(src, label))
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Iterate over all live edges (tests and compaction)."""
+        return iter(self._edges)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of live (non-tombstoned) edges."""
+        return len(self._edges)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Removed-but-uncompacted index entries (compaction pressure)."""
+        return len(self._tombstones)
+
+    def compact(self) -> int:
+        """Rebuild the VList indexes, dropping tombstoned entries.
+
+        Returns the number of index entries reclaimed.  Real shards do this
+        in the background; here it is explicit so tests can exercise it.
+        """
+        reclaimed = len(self._tombstones)
+        out: Dict[Tuple[Vertex, Label], VList] = {}
+        incoming: Dict[Tuple[Vertex, Label], VList] = {}
+        for src, label, dst in self._edges:
+            out.setdefault((src, label), VList()).append(dst)
+            incoming.setdefault((dst, label), VList()).append(src)
+        self._out = out
+        self._in = incoming
+        self._tombstones.clear()
+        return reclaimed

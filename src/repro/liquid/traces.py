@@ -1,0 +1,136 @@
+"""Synthetic stand-ins for the paper's production query traces (§5.4).
+
+The paper samples 5.5M production queries across eleven anonymized types,
+"sorted by cost in ascending order", with this mix::
+
+    QT1 11.56%  QT2 0.04%  QT3 0.04%  QT4 2.34%  QT5 13.44%  QT6 13.44%
+    QT7 0.42%   QT8 0.09%  QT9 26.35% QT10 4.49% QT11 27.80%
+
+We cannot ship LinkedIn's trace, so :func:`linkedin_cost_table` builds an
+eleven-type cost ladder with those exact proportions for the cluster
+simulation: cheap types touch one shard for one round; expensive types fan
+out to every shard over multiple rounds (QT11, the costliest and most
+common, does three full-fan-out rounds, yielding ~10ms broker-observed
+processing times at low load, rising with load — the paper's Figure 13
+regime).  ``work_scale`` rescales all sub-query medians so an experiment
+can place the shard saturation point wherever the paper's cluster had it.
+
+:func:`sample_graph_queries` draws *executable* query objects against a
+real :class:`~repro.liquid.service.LiquidService` for the runnable examples
+and integration tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .cluster_sim import FANOUT_ALL, FANOUT_ONE, QueryTypeCost
+from .query import (CountQuery, DistanceQuery, EdgeQuery, FanoutQuery,
+                    GraphQuery)
+from .service import LiquidService
+
+#: The paper's published query mix (normalized; source sums to 100.01%).
+LINKEDIN_MIX: Tuple[Tuple[str, float], ...] = (
+    ("QT1", 0.1156), ("QT2", 0.0004), ("QT3", 0.0004), ("QT4", 0.0234),
+    ("QT5", 0.1344), ("QT6", 0.1344), ("QT7", 0.0042), ("QT8", 0.0009),
+    ("QT9", 0.2635), ("QT10", 0.0449), ("QT11", 0.2780),
+)
+
+#: (rounds, fanout, sub-query median seconds, sigma, broker round overhead
+#: seconds) per type, ascending per-query cost.  Expensive types spend most
+#: of their time in multi-round fan-out plus broker-side result processing,
+#: cheap types in a single one-shard lookup.  Sub-query medians are
+#: pre-``work_scale`` baselines; broker overheads are not scaled (they model
+#: broker CPU, not shard work).
+_COST_LADDER: Tuple[Tuple[str, int, str, float, float, float], ...] = (
+    ("QT1", 1, FANOUT_ONE, 0.00015, 0.40, 0.00005),
+    ("QT2", 1, FANOUT_ONE, 0.00018, 0.40, 0.00006),
+    ("QT3", 1, FANOUT_ONE, 0.00022, 0.40, 0.00007),
+    ("QT4", 1, FANOUT_ONE, 0.00028, 0.40, 0.00008),
+    ("QT5", 1, FANOUT_ALL, 0.00018, 0.40, 0.00012),
+    ("QT6", 1, FANOUT_ALL, 0.00025, 0.40, 0.00018),
+    ("QT7", 2, FANOUT_ALL, 0.00028, 0.45, 0.00025),
+    ("QT8", 2, FANOUT_ALL, 0.00032, 0.45, 0.00030),
+    ("QT9", 2, FANOUT_ALL, 0.00040, 0.45, 0.00040),
+    ("QT10", 2, FANOUT_ALL, 0.00070, 0.50, 0.00130),
+    ("QT11", 3, FANOUT_ALL, 0.00030, 0.60, 0.00200),
+)
+
+
+def linkedin_mix_proportions() -> dict:
+    """The normalized published mix as ``{qtype: proportion}``."""
+    total = sum(share for _, share in LINKEDIN_MIX)
+    return {name: share / total for name, share in LINKEDIN_MIX}
+
+#: Default sub-query work scaling.  The baked-in ladder is calibrated so
+#: the default scaled-down cluster (3 brokers / 4 shards, see
+#: :class:`~repro.liquid.cluster_sim.ClusterConfig`) has its *brokers* bind
+#: near 23K scaled QPS (~92K cluster-equivalent) while shards keep CPU
+#: headroom — reproducing the paper's observation that the brokers, not the
+#: shards, produce the vast majority of rejections.
+DEFAULT_WORK_SCALE = 1.0
+
+
+def linkedin_cost_table(
+        work_scale: float = DEFAULT_WORK_SCALE) -> List[QueryTypeCost]:
+    """Build the QT1..QT11 cost table for the cluster simulation."""
+    if work_scale <= 0:
+        raise ConfigurationError(f"work_scale must be > 0, got {work_scale}")
+    proportions = linkedin_mix_proportions()
+    table = []
+    for name, rounds, fanout, median, sigma, overhead in _COST_LADDER:
+        table.append(QueryTypeCost(
+            name=name,
+            proportion=proportions[name],
+            rounds=rounds,
+            fanout=fanout,
+            subquery_median=median * work_scale,
+            subquery_sigma=sigma,
+            broker_overhead=overhead,
+        ))
+    return table
+
+
+def sample_graph_queries(service: LiquidService, label: str,
+                         count: int, seed: int = 0,
+                         mix: Optional[Sequence[Tuple[str, float]]] = None
+                         ) -> Iterator[GraphQuery]:
+    """Yield executable queries over vertices that exist in ``service``.
+
+    ``mix`` gives ``(kind, proportion)`` pairs over the kinds
+    ``edge`` / ``count`` / ``fanout2`` / ``distance``; the default skews
+    toward cheap edge queries like production traffic does.
+    """
+    if count < 0:
+        raise ConfigurationError("count must be >= 0")
+    if mix is None:
+        mix = (("edge", 0.55), ("count", 0.15),
+               ("fanout2", 0.20), ("distance", 0.10))
+    mix = list(mix)
+    total = sum(share for _, share in mix)
+    if total <= 0:
+        raise ConfigurationError("query mix proportions must sum > 0")
+    rng = random.Random(seed)
+    vertices = sorted({src for engine in service.shards
+                       for (src, _, _) in engine.store.edges()})
+    if not vertices:
+        raise ConfigurationError("service holds no edges to query")
+
+    kinds = [kind for kind, _ in mix]
+    weights = [share / total for _, share in mix]
+    for _ in range(count):
+        kind = rng.choices(kinds, weights=weights)[0]
+        src = vertices[rng.randrange(len(vertices))]
+        if kind == "edge":
+            yield EdgeQuery(src, label)
+        elif kind == "count":
+            yield CountQuery(src, label)
+        elif kind == "fanout2":
+            yield FanoutQuery(src, label, limit=64)
+        elif kind == "distance":
+            dst = vertices[rng.randrange(len(vertices))]
+            yield DistanceQuery(src, dst, label, max_hops=4)
+        else:
+            raise ConfigurationError(f"unknown query kind {kind!r}")

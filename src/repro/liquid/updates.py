@@ -1,0 +1,207 @@
+"""The continuous update feed into LIquid shards (paper §5.1).
+
+"[Shard hosts] also receive a continuous feed of updates (e.g., via Kafka)
+from source-of-truth databases, and each shard keeps the updates belonging
+to its slice of the graph."
+
+This module supplies that pipeline for the real store:
+
+* :class:`UpdateLog` — an in-memory, partitioned, append-only log of
+  :class:`EdgeUpdate` records, Kafka-shaped: producers append to the
+  partition owning the edge's source vertex; consumers poll
+  ``(partition, offset)`` ranges; records are immutable and replayable.
+* :class:`ShardConsumer` — tails one partition and applies its updates to
+  a shard's :class:`~repro.liquid.storage.EdgeStore`, tracking its offset.
+  Delivery is at-least-once on replay; application is idempotent
+  (re-adding an existing edge or re-removing a missing one is a no-op), so
+  replays converge.
+* :class:`UpdatePipeline` — wires one consumer per shard of a
+  :class:`~repro.liquid.service.LiquidService` to a log partitioned the
+  same way the service is.
+
+The log is deliberately synchronous and in-process: what the reproduction
+needs from "Kafka" is ordered, partitioned, offset-addressed replayable
+delivery — not brokers and sockets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .partition import HashPartitioner
+from .service import LiquidService
+from .storage import EdgeStore
+
+
+class UpdateOp(enum.Enum):
+    """The two mutations a source-of-truth database emits."""
+
+    ADD = "add"
+    REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One immutable update record."""
+
+    op: UpdateOp
+    src: str
+    label: str
+    dst: str
+
+    @staticmethod
+    def add(src: str, label: str, dst: str) -> "EdgeUpdate":
+        """An edge-insertion record."""
+        return EdgeUpdate(UpdateOp.ADD, src, label, dst)
+
+    @staticmethod
+    def remove(src: str, label: str, dst: str) -> "EdgeUpdate":
+        """An edge-removal record."""
+        return EdgeUpdate(UpdateOp.REMOVE, src, label, dst)
+
+
+class UpdateLog:
+    """A partitioned, append-only, offset-addressed update log."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ConfigurationError(
+                f"num_partitions must be >= 1, got {num_partitions}")
+        self._partitioner = HashPartitioner(num_partitions)
+        self._partitions: List[List[EdgeUpdate]] = [
+            [] for _ in range(num_partitions)]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def partition_for(self, update: EdgeUpdate) -> int:
+        """Partition owning an update (by source vertex, like the shards)."""
+        return self._partitioner.shard_for(update.src)
+
+    def append(self, update: EdgeUpdate) -> Tuple[int, int]:
+        """Append one record; returns its ``(partition, offset)``."""
+        partition = self.partition_for(update)
+        log = self._partitions[partition]
+        log.append(update)
+        return partition, len(log) - 1
+
+    def append_all(self, updates: Sequence[EdgeUpdate]
+                   ) -> List[Tuple[int, int]]:
+        """Append several records; returns their positions in order."""
+        return [self.append(update) for update in updates]
+
+    def end_offset(self, partition: int) -> int:
+        """One past the last record of a partition (the poll horizon)."""
+        return len(self._partitions[partition])
+
+    def read(self, partition: int, offset: int,
+             max_records: Optional[int] = None) -> List[EdgeUpdate]:
+        """Records of ``partition`` from ``offset`` (inclusive) onward.
+
+        Reading from an offset at or past the end returns an empty list —
+        polling an idle partition is not an error.
+        """
+        if not 0 <= partition < len(self._partitions):
+            raise ConfigurationError(
+                f"partition {partition} out of range "
+                f"(0..{len(self._partitions) - 1})")
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        log = self._partitions[partition]
+        end = len(log) if max_records is None else min(
+            len(log), offset + max_records)
+        return log[offset:end]
+
+    def __iter__(self) -> Iterator[Tuple[int, int, EdgeUpdate]]:
+        """All records as ``(partition, offset, update)`` (tests/tools)."""
+        for partition, log in enumerate(self._partitions):
+            for offset, update in enumerate(log):
+                yield partition, offset, update
+
+
+class ShardConsumer:
+    """Tails one log partition and applies its updates to one shard."""
+
+    def __init__(self, log: UpdateLog, partition: int,
+                 store: EdgeStore) -> None:
+        self._log = log
+        self.partition = partition
+        self._store = store
+        self.offset = 0
+        self.applied = 0
+        self.noops = 0
+
+    @property
+    def lag(self) -> int:
+        """Records appended but not yet consumed."""
+        return self._log.end_offset(self.partition) - self.offset
+
+    def poll(self, max_records: Optional[int] = None) -> int:
+        """Apply pending updates; returns how many records were consumed."""
+        records = self._log.read(self.partition, self.offset, max_records)
+        for update in records:
+            if update.op is UpdateOp.ADD:
+                changed = self._store.add_edge(update.src, update.label,
+                                               update.dst)
+            else:
+                changed = self._store.remove_edge(update.src, update.label,
+                                                  update.dst)
+            if changed:
+                self.applied += 1
+            else:
+                self.noops += 1
+        self.offset += len(records)
+        return len(records)
+
+    def rewind(self, offset: int = 0) -> None:
+        """Replay from an earlier offset (at-least-once redelivery).
+
+        Application is idempotent, so a replayed prefix converges to the
+        same store state.
+        """
+        if not 0 <= offset <= self.offset:
+            raise ConfigurationError(
+                f"can only rewind within [0, {self.offset}], got {offset}")
+        self.offset = offset
+
+
+class UpdatePipeline:
+    """One consumer per shard of a service, over a same-shaped log.
+
+    The partitioner hashing updates to partitions is the same one hashing
+    vertices to shards, so partition *i*'s records are exactly shard *i*'s
+    slice of the graph — the property the paper states ("each shard keeps
+    the updates belonging to its slice").
+    """
+
+    def __init__(self, service: LiquidService) -> None:
+        self.service = service
+        self.log = UpdateLog(service.num_shards)
+        self.consumers = [
+            ShardConsumer(self.log, idx, engine.store)
+            for idx, engine in enumerate(service.shards)
+        ]
+
+    def publish(self, update: EdgeUpdate) -> Tuple[int, int]:
+        """Producer API: append one update to the feed."""
+        return self.log.append(update)
+
+    def publish_all(self, updates: Sequence[EdgeUpdate]) -> int:
+        """Producer API: append a batch; returns how many were published."""
+        self.log.append_all(updates)
+        return len(updates)
+
+    def drain(self) -> int:
+        """Run every consumer to the end of its partition."""
+        total = 0
+        for consumer in self.consumers:
+            total += consumer.poll()
+        return total
+
+    def total_lag(self) -> int:
+        """Unconsumed records summed across all shard consumers."""
+        return sum(consumer.lag for consumer in self.consumers)

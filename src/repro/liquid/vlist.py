@@ -1,0 +1,74 @@
+"""VList: the chunked, append-friendly vector LIquid indexes edges with.
+
+LIquid's shards index graph data "with hash maps and VLists" (Carter et
+al., SIGMOD'19): adjacency sets are stored as growable arrays of
+geometrically larger chunks, giving O(1) amortized append, O(1) random
+access, and stable references to existing chunks while writers append —
+the property that lets readers traverse concurrently with the update feed.
+
+This is a faithful, small Python rendition used by
+:class:`~repro.liquid.storage.EdgeStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Size of the first chunk; subsequent chunks double.
+INITIAL_CHUNK = 4
+#: Chunks stop doubling at this size.
+MAX_CHUNK = 4096
+
+
+class VList(Sequence[T]):
+    """Append-only chunked vector with list-like reads."""
+
+    __slots__ = ("_chunks", "_size")
+
+    def __init__(self, items: Sequence[T] = ()) -> None:
+        self._chunks: List[List[T]] = []
+        self._size = 0
+        for item in items:
+            self.append(item)
+
+    def append(self, item: T) -> None:
+        """Amortized O(1) append; never moves existing chunks."""
+        if not self._chunks or len(self._chunks[-1]) == self._capacity_of(
+                len(self._chunks) - 1):
+            self._chunks.append([])
+        self._chunks[-1].append(item)
+        self._size += 1
+
+    @staticmethod
+    def _capacity_of(chunk_index: int) -> int:
+        return min(INITIAL_CHUNK << chunk_index, MAX_CHUNK)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[T]:
+        for chunk in self._chunks:
+            yield from chunk
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._size))]
+        if index < 0:
+            index += self._size
+        if not 0 <= index < self._size:
+            raise IndexError(f"VList index {index} out of range "
+                             f"(size {self._size})")
+        remaining = index
+        for chunk in self._chunks:
+            if remaining < len(chunk):
+                return chunk[remaining]
+            remaining -= len(chunk)
+        raise IndexError(index)  # pragma: no cover - unreachable
+
+    def __contains__(self, item: object) -> bool:
+        return any(value == item for value in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VList(size={self._size}, chunks={len(self._chunks)})"

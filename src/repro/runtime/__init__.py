@@ -1,0 +1,20 @@
+"""Real (wall-clock, threaded) admission-controlled serving runtime."""
+
+from .loadgen import LOADGEN_PERCENTILES, LoadGenerator, LoadResult
+from .queryset import QuerySet, QuerySetLibrary, load_mix
+from .replicas import (AllReplicasRejectedError, ReplicaClient,
+                       ReplicaStats)
+from .server import AdmissionServer
+
+__all__ = [
+    "AdmissionServer",
+    "AllReplicasRejectedError",
+    "LOADGEN_PERCENTILES",
+    "LoadGenerator",
+    "LoadResult",
+    "QuerySet",
+    "QuerySetLibrary",
+    "ReplicaClient",
+    "ReplicaStats",
+    "load_mix",
+]

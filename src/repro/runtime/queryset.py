@@ -1,0 +1,149 @@
+"""File-backed query sets and mixes for the load generator (paper §5.4).
+
+The paper's wrk2-derived tool "draws queries from one or more query sets,
+each containing queries of a specific type, and generates traffic according
+to a query mix, which indicates the proportions per query type.  The query
+sets and query mix are provided in input files."
+
+This module is that input layer:
+
+* a **query set file** is JSON Lines — one JSON object per query with at
+  least a ``payload`` field (opaque, handed to the server handler);
+* a **mix file** is a JSON object mapping query type to proportion, e.g.
+  ``{"QT1": 0.1156, "QT11": 0.2780, ...}`` (values are normalized);
+* :class:`QuerySetLibrary` holds the sets and builds the
+  ``query_factory`` a :class:`~repro.runtime.loadgen.LoadGenerator` needs.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.types import Query
+from ..exceptions import ConfigurationError
+
+
+class QuerySet:
+    """All recorded queries of one type."""
+
+    def __init__(self, qtype: str, payloads: Sequence[object]) -> None:
+        if not qtype:
+            raise ConfigurationError("query set needs a non-empty type")
+        if not payloads:
+            raise ConfigurationError(
+                f"query set {qtype!r} must contain at least one query")
+        self.qtype = qtype
+        self._payloads = list(payloads)
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def sample(self, rng: random.Random) -> Query:
+        """Draw one recorded query, uniformly."""
+        payload = self._payloads[rng.randrange(len(self._payloads))]
+        return Query(qtype=self.qtype, payload=payload)
+
+    @classmethod
+    def load(cls, qtype: str, path: str) -> "QuerySet":
+        """Load a JSONL query set file.
+
+        Each line is a JSON object; its ``payload`` field (or, absent
+        that, the whole object) becomes the query payload.  Blank lines
+        are skipped; malformed lines fail fast with the line number.
+        """
+        payloads: List[object] = []
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{path}:{lineno}: invalid JSON: {exc}") from None
+                if isinstance(record, dict) and "payload" in record:
+                    payloads.append(record["payload"])
+                else:
+                    payloads.append(record)
+        return cls(qtype, payloads)
+
+
+def load_mix(path: str) -> Dict[str, float]:
+    """Load and normalize a mix file (type -> proportion)."""
+    with open(path) as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, dict) or not raw:
+        raise ConfigurationError(
+            f"{path}: a mix file must be a non-empty JSON object")
+    cleaned: Dict[str, float] = {}
+    for qtype, share in raw.items():
+        value = float(share)
+        if value < 0:
+            raise ConfigurationError(
+                f"{path}: proportion for {qtype!r} must be >= 0")
+        if value > 0:
+            cleaned[qtype] = value
+    total = sum(cleaned.values())
+    if total <= 0:
+        raise ConfigurationError(f"{path}: mix proportions sum to zero")
+    return {qtype: share / total for qtype, share in cleaned.items()}
+
+
+class QuerySetLibrary:
+    """Query sets plus a mix, yielding load-generator query factories."""
+
+    def __init__(self, sets: Sequence[QuerySet],
+                 mix: Optional[Dict[str, float]] = None) -> None:
+        if not sets:
+            raise ConfigurationError("need at least one query set")
+        names = [qs.qtype for qs in sets]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate query set types: {names}")
+        self._sets = {qs.qtype: qs for qs in sets}
+        if mix is None:
+            mix = {name: 1.0 / len(names) for name in names}
+        unknown = set(mix) - set(self._sets)
+        if unknown:
+            raise ConfigurationError(
+                f"mix references unknown query sets: {sorted(unknown)}")
+        total = sum(mix.values())
+        if total <= 0:
+            raise ConfigurationError("mix proportions must sum > 0")
+        self._mix: List[Tuple[str, float]] = [
+            (qtype, share / total) for qtype, share in sorted(mix.items())
+            if share > 0]
+
+    @classmethod
+    def load(cls, set_paths: Dict[str, str],
+             mix_path: Optional[str] = None) -> "QuerySetLibrary":
+        """Load from files: ``{qtype: queryset_path}`` plus a mix file."""
+        sets = [QuerySet.load(qtype, path)
+                for qtype, path in sorted(set_paths.items())]
+        mix = load_mix(mix_path) if mix_path else None
+        return cls(sets, mix)
+
+    @property
+    def qtypes(self) -> Tuple[str, ...]:
+        return tuple(self._sets)
+
+    @property
+    def mix(self) -> Dict[str, float]:
+        return dict(self._mix)
+
+    def sample(self, rng: random.Random) -> Query:
+        """Draw a query type by mix proportion, then a query from its set."""
+        draw = rng.random()
+        cumulative = 0.0
+        for qtype, share in self._mix:
+            cumulative += share
+            if draw < cumulative:
+                return self._sets[qtype].sample(rng)
+        # Float drift: fall through to the last type.
+        return self._sets[self._mix[-1][0]].sample(rng)
+
+    def query_factory(self):
+        """The callable a :class:`LoadGenerator` takes as its source."""
+        return self.sample

@@ -1,0 +1,119 @@
+"""Replica-aware client with rejection-driven failover (paper §5.1/§2).
+
+"Our data centers host multiple LIquid clusters that act as replicas to
+serve large volumes of traffic ... with high availability" (§5.1), and the
+whole point of early rejections is that a caller learns *immediately* and
+"has more flexibility to decide the next action to obtain alternative
+results" (§2).  :class:`ReplicaClient` is that caller: it submits a query
+to a replica and, on an early rejection, fails over to the next one within
+the same request — something a timed-out request could never afford.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from ..core.types import Query
+from ..exceptions import (ConfigurationError, QueryRejectedError,
+                          ReproError, ShuttingDownError)
+from .server import AdmissionServer
+
+
+class AllReplicasRejectedError(ReproError):
+    """Every replica rejected the query (or was unavailable)."""
+
+    def __init__(self, attempts: int) -> None:
+        super().__init__(
+            f"all {attempts} replica attempt(s) rejected the query")
+        self.attempts = attempts
+
+
+@dataclass
+class ReplicaStats:
+    """Per-client accounting of where requests landed."""
+
+    submitted: int = 0
+    failovers: int = 0
+    exhausted: int = 0
+    per_replica: List[int] = field(default_factory=list)
+
+
+class ReplicaClient:
+    """Round-robin submission over replicas with failover on rejection.
+
+    Parameters
+    ----------
+    replicas:
+        The replica servers (each an :class:`AdmissionServer`); all must
+        be started by the caller.
+    max_attempts:
+        Replicas tried per query before giving up (defaults to all).
+    jitter_seed:
+        Seeds the initial replica choice so independent clients spread
+        load instead of synchronizing on replica 0.
+    """
+
+    def __init__(self, replicas: Sequence[AdmissionServer],
+                 max_attempts: Optional[int] = None,
+                 jitter_seed: Optional[int] = None) -> None:
+        if not replicas:
+            raise ConfigurationError("need at least one replica")
+        if max_attempts is not None and max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self._replicas = list(replicas)
+        self._max_attempts = max_attempts or len(self._replicas)
+        start = random.Random(jitter_seed).randrange(len(self._replicas))
+        self._cursor = itertools.count(start)
+        self._lock = threading.Lock()
+        self.stats = ReplicaStats(
+            per_replica=[0] * len(self._replicas))
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._replicas)
+
+    def submit(self, query: Query):
+        """Submit with failover; returns ``(future, replica_index)``.
+
+        Raises
+        ------
+        AllReplicasRejectedError
+            Every attempted replica rejected the query or was shutting
+            down — the caller should degrade (the §2 fallback path).
+        """
+        with self._lock:
+            self.stats.submitted += 1
+            first = next(self._cursor) % len(self._replicas)
+        attempts = 0
+        for step in range(self._max_attempts):
+            index = (first + step) % len(self._replicas)
+            attempts += 1
+            try:
+                future = self._replicas[index].submit(query)
+            except (QueryRejectedError, ShuttingDownError):
+                with self._lock:
+                    if step + 1 < self._max_attempts:
+                        self.stats.failovers += 1
+                continue
+            with self._lock:
+                self.stats.per_replica[index] += 1
+            return future, index
+        with self._lock:
+            self.stats.exhausted += 1
+        raise AllReplicasRejectedError(attempts)
+
+    def execute(self, query: Query, timeout: float = 30.0) -> Any:
+        """Submit with failover and wait for the result.
+
+        A query that expires in a replica's queue
+        (:class:`~repro.exceptions.DeadlineExceededError`) is *not*
+        retried: its deadline already passed, so another replica could not
+        answer in time either.
+        """
+        future, _ = self.submit(query)
+        return future.result(timeout=timeout)

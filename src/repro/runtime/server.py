@@ -1,0 +1,211 @@
+"""A real (wall-clock, threaded) admission-controlled server.
+
+This is the production-shaped counterpart of the simulated host: the same
+Figure-1 framework — admission decision at arrival, FIFO queue, a fixed
+pool of engine worker threads, Point 1/2/3 metric hooks — running on
+:class:`~repro.core.clock.MonotonicClock` against a user-supplied handler
+(e.g. :meth:`repro.liquid.service.LiquidService.execute`).
+
+Policies are constructed from the server's :class:`~repro.core.context
+.HostContext` exactly as in simulation, so a policy validated in the
+simulator deploys here unchanged — the property the paper relies on when it
+moves Bouncer from the §5.3 simulator to the §5.4 LIquid cluster.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Optional
+
+from ..core.context import HostContext
+from ..core.clock import MonotonicClock
+from ..core.policy import AdmissionPolicy, QueueView
+from ..core.types import AdmissionResult, Query
+from ..exceptions import (ConfigurationError, DeadlineExceededError,
+                          QueryRejectedError, ShuttingDownError)
+
+Handler = Callable[[Query], Any]
+PolicyFactory = Callable[[HostContext], AdmissionPolicy]
+
+_SHUTDOWN = object()
+
+
+class AdmissionServer:
+    """FIFO queue + worker threads behind an admission policy.
+
+    Parameters
+    ----------
+    policy_factory:
+        Builds the admission policy from this host's context.
+    handler:
+        Executes one admitted query and returns its result; runs on a
+        worker thread.  Exceptions propagate into the query's future.
+    workers:
+        ``P`` — number of engine worker threads.
+    enforce_deadlines:
+        Drop admitted queries whose absolute ``deadline`` passed while
+        they queued; their future fails with
+        :class:`~repro.exceptions.DeadlineExceededError` without spending
+        handler time (LIquid's expiration enforcement, §5.1).
+
+    Usage::
+
+        server = AdmissionServer(factory, handler, workers=8)
+        server.start()
+        try:
+            future = server.submit(Query(qtype="edge", payload=...))
+            print(future.result(timeout=1.0))
+        finally:
+            server.stop()
+
+    ``submit`` raises :class:`~repro.exceptions.QueryRejectedError`
+    immediately when the policy rejects — the "early rejection" the paper's
+    §2 motivates: the caller learns at once and can fail over, and the
+    query never occupies the queue.
+    """
+
+    def __init__(self, policy_factory: PolicyFactory, handler: Handler,
+                 workers: int = 8, enforce_deadlines: bool = True) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self._clock = MonotonicClock()
+        self.queue_view = QueueView()
+        self.ctx = HostContext(clock=self._clock, queue=self.queue_view,
+                               parallelism=workers)
+        self.policy = policy_factory(self.ctx)
+        self._handler = handler
+        self._workers_count = workers
+        self._enforce_deadlines = enforce_deadlines
+        self.expired_count = 0
+        #: Exceptions raised by the policy's decide(); the server fails
+        #: open (admits) on these, because a crashing admission policy
+        #: must degrade to "no admission control", not to an outage.
+        self.policy_errors = 0
+        self._queue: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+        self._threads: list = []
+        self._started = False
+        self._stopping = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Spin up the worker threads (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            self._stopping = False
+        for idx in range(self._workers_count):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"repro-engine-{idx}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting work and join the workers.
+
+        Queries already queued are still processed (graceful drain).
+        """
+        with self._lock:
+            if not self._started or self._stopping:
+                return
+            self._stopping = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        with self._lock:
+            self._started = False
+
+    def __enter__(self) -> "AdmissionServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, query: Query) -> "Future[Any]":
+        """Offer a query; returns a future, or raises on rejection.
+
+        Raises
+        ------
+        QueryRejectedError
+            The admission policy rejected the query (early rejection).
+        ShuttingDownError
+            The server is stopping or was never started.
+        """
+        with self._lock:
+            if not self._started or self._stopping:
+                raise ShuttingDownError("server is not accepting queries")
+        now = self._clock.now()
+        query.arrival_time = now
+        try:
+            result = self.policy.decide(query)
+        except Exception:
+            # Fail open: a broken policy should cost admission control,
+            # not availability.  The error is counted for alerting.
+            self.policy_errors += 1
+            result = AdmissionResult.accept()
+        if not result.accepted:
+            raise QueryRejectedError(result)
+        future: "Future[Any]" = Future()
+        query.enqueued_at = now
+        self.queue_view.on_enqueue(query.qtype)
+        self.policy.on_enqueued(query)
+        self._queue.put((query, future))
+        return future
+
+    def try_submit(self, query: Query
+                   ) -> "tuple[AdmissionResult, Optional[Future[Any]]]":
+        """Like :meth:`submit` but returns the rejection instead of raising.
+
+        Load generators use this to count rejections without exception
+        overhead distorting latency measurements.
+        """
+        try:
+            future = self.submit(query)
+        except QueryRejectedError as exc:
+            return exc.result, None
+        return AdmissionResult.accept(), future
+
+    # -- workers -----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            query, future = item
+            now = self._clock.now()
+            if (self._enforce_deadlines and query.deadline is not None
+                    and now > query.deadline):
+                self.queue_view.on_dequeue(query.qtype)
+                self.expired_count += 1
+                future.set_exception(DeadlineExceededError(
+                    f"query {query.query_id} expired in the queue"))
+                continue
+            query.dequeued_at = now
+            self.queue_view.on_dequeue(query.qtype)
+            try:
+                self.policy.on_dequeued(query, query.wait_time or 0.0)
+            except Exception:
+                # Policy hooks are advisory: a buggy hook must not kill
+                # the worker or the query.
+                self.policy_errors += 1
+            try:
+                outcome = self._handler(query)
+            except Exception as exc:  # propagate into the caller's future
+                query.completed_at = self._clock.now()
+                future.set_exception(exc)
+                continue
+            query.completed_at = self._clock.now()
+            try:
+                self.policy.on_completed(query, query.wait_time or 0.0,
+                                         query.processing_time or 0.0)
+            except Exception:
+                self.policy_errors += 1
+            future.set_result(outcome)

@@ -1,0 +1,24 @@
+"""Discrete event simulation substrate (the paper's §5.3 simulator)."""
+
+from .driver import run_simulation
+from .report import (REPORT_PERCENTILES, ServerMetrics, SimulationReport,
+                     TypeStats)
+from .server import SimulatedServer
+from .simulator import ScheduledEvent, Simulator
+from .workload import (ArrivalSchedule, QueryTypeSpec, WorkloadMix,
+                       service_time_of)
+
+__all__ = [
+    "ArrivalSchedule",
+    "QueryTypeSpec",
+    "REPORT_PERCENTILES",
+    "ScheduledEvent",
+    "ServerMetrics",
+    "SimulatedServer",
+    "SimulationReport",
+    "Simulator",
+    "TypeStats",
+    "WorkloadMix",
+    "run_simulation",
+    "service_time_of",
+]

@@ -1,0 +1,210 @@
+"""Simulated serving host: FIFO queue + P query engine processes (Fig. 1).
+
+"The simulator implements the framework in Figure 1.  It assumes a query
+engine with a fixed number of processes and gives the admitted queries to
+the idle processes on a first-come, first-serve basis" (§5.3).
+
+The host owns the queue (exposing a live :class:`~repro.core.policy.QueueView`
+to the policy), invokes the policy at arrival, and fires the Point 1/2/3
+metric hooks the framework promises.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..core.context import HostContext
+from ..core.policy import AdmissionPolicy, QueueView
+from ..core.types import AdmissionResult, Query
+from ..exceptions import ConfigurationError
+from .report import ServerMetrics
+from .simulator import Simulator
+from .workload import service_time_of
+
+PolicyFactory = Callable[[HostContext], AdmissionPolicy]
+DecisionHook = Callable[[float, Query, AdmissionResult], None]
+PriorityFn = Callable[[Query], float]
+
+
+class SimulatedServer:
+    """One serving host inside a :class:`~repro.sim.simulator.Simulator`.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying time and event scheduling.
+    parallelism:
+        ``P`` — number of query engine processes.
+    policy_factory:
+        Builds the admission policy from the host's context; invoked once.
+    service_time_fn:
+        Maps an admitted query to its processing duration in seconds.
+        Defaults to reading the demand pre-sampled by the workload.
+    on_decision:
+        Optional hook called after every admission decision — the
+        per-second traces behind the paper's Figure 3 are collected here.
+    enforce_deadlines:
+        Drop admitted queries whose deadline passed while they queued
+        (LIquid's expiration enforcement, §5.1), and account engine time
+        spent on responses that completed after their deadline as wasted
+        work.  Queries without a deadline are unaffected.
+    priority_fn:
+        Optional scheduling priority (lower runs first; FIFO among equals).
+        The paper's systems serve queries in FIFO order and list priority
+        disciplines as future work (§7); this knob implements that
+        extension.  Note Bouncer's Eq. 2 wait estimate assumes FIFO, so
+        under a priority discipline its estimates are approximate for
+        low-priority types.
+    """
+
+    def __init__(self, sim: Simulator, parallelism: int,
+                 policy_factory: PolicyFactory,
+                 service_time_fn: Callable[[Query], float] = service_time_of,
+                 on_decision: Optional[DecisionHook] = None,
+                 enforce_deadlines: bool = True,
+                 priority_fn: Optional[PriorityFn] = None) -> None:
+        if parallelism < 1:
+            raise ConfigurationError(
+                f"parallelism must be >= 1, got {parallelism}")
+        self._sim = sim
+        self.parallelism = parallelism
+        self.queue_view = QueueView()
+        self.ctx = HostContext(clock=sim.clock, queue=self.queue_view,
+                               parallelism=parallelism)
+        self.policy = policy_factory(self.ctx)
+        self._service_time_fn = service_time_fn
+        self._on_decision = on_decision
+        self._enforce_deadlines = enforce_deadlines
+        self._priority_fn = priority_fn
+        self._queue: Deque[Query] = deque()
+        self._heap: List[Tuple[float, int, Query]] = []
+        self._heap_seq = itertools.count()
+        self._idle = parallelism
+        self.metrics = ServerMetrics(start_time=sim.now)
+        # Exact utilization accounting: integral of busy processes over
+        # time, advanced on every dispatch/completion.
+        self._busy_integral = 0.0
+        self._busy_last_change = sim.now
+
+    @property
+    def queue_length(self) -> int:
+        """Queries waiting (not in service)."""
+        if self._priority_fn is not None:
+            return len(self._heap)
+        return len(self._queue)
+
+    @property
+    def idle_processes(self) -> int:
+        """Engine processes currently free."""
+        return self._idle
+
+    @property
+    def in_flight(self) -> int:
+        """Queries currently being processed by engine processes."""
+        return self.parallelism - self._idle
+
+    def offer(self, query: Query) -> AdmissionResult:
+        """Present an arriving query to the admission policy.
+
+        Accepted queries enter the FIFO queue; rejected ones are dropped on
+        the spot (the early rejection the paper's §2 motivates — they
+        "never make it into the data system's queue").
+        """
+        now = self._sim.now
+        query.arrival_time = now
+        self.metrics.note_arrival(now)
+        result = self.policy.decide(query)
+        if self._on_decision is not None:
+            self._on_decision(now, query, result)
+        if not result.accepted:
+            self.metrics.record_rejection(query, result)
+            return result
+        query.enqueued_at = now
+        self.metrics.record_admission(self._service_time_fn(query))
+        if self._priority_fn is not None:
+            heapq.heappush(self._heap, (self._priority_fn(query),
+                                        next(self._heap_seq), query))
+        else:
+            self._queue.append(query)
+        self.queue_view.on_enqueue(query.qtype)
+        self.policy.on_enqueued(query)
+        self._dispatch()
+        return result
+
+    def reset_measurement(self) -> None:
+        """End the warm-up phase: zero metrics and policy tallies.
+
+        Learned policy state (histograms, moving averages) is preserved —
+        only the accounting restarts, as in the paper's warmed-up runs.
+        """
+        self.metrics.reset(self._sim.now)
+        self.policy.reset_stats()
+        self._account_busy()
+        self._busy_integral = 0.0
+
+    def _account_busy(self) -> None:
+        now = self._sim.now
+        self._busy_integral += (now - self._busy_last_change) * self.in_flight
+        self._busy_last_change = now
+
+    def utilization_now(self) -> float:
+        """Exact mean engine utilization since the measurement window
+        opened, up to the current instant (busy-process time integral)."""
+        self._account_busy()
+        span = self._sim.now - self.metrics.start_time
+        if span <= 0:
+            return 0.0
+        return self._busy_integral / (span * self.parallelism)
+
+    # -- engine processes -------------------------------------------------
+    def _pop_next(self) -> Optional[Query]:
+        if self._priority_fn is not None:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def _dispatch(self) -> None:
+        while self._idle > 0:
+            query = self._pop_next()
+            if query is None:
+                return
+            now = self._sim.now
+            if (self._enforce_deadlines and query.deadline is not None
+                    and now > query.deadline):
+                # Expired while queued: drop without engine work (§5.1).
+                self.queue_view.on_dequeue(query.qtype)
+                self.metrics.record_expiration(query, wasted_work=0.0)
+                continue
+            query.dequeued_at = now
+            self.queue_view.on_dequeue(query.qtype)
+            wait = query.wait_time or 0.0
+            self.policy.on_dequeued(query, wait)
+            self._account_busy()
+            self._idle -= 1
+            service = self._service_time_fn(query)
+            self._sim.schedule_after(service,
+                                     lambda q=query: self._complete(q))
+
+    def _complete(self, query: Query) -> None:
+        now = self._sim.now
+        query.completed_at = now
+        wait = query.wait_time or 0.0
+        processing = query.processing_time or 0.0
+        if (self._enforce_deadlines and query.deadline is not None
+                and now > query.deadline):
+            # Completed after expiration: the engine time was wasted on a
+            # response the client gave up on (the paper's §2 scenario).
+            self.policy.on_completed(query, wait, processing)
+            self.metrics.record_expiration(query, wasted_work=processing)
+        else:
+            self.policy.on_completed(query, wait, processing)
+            self.metrics.record_completion(query)
+        self._account_busy()
+        self._idle += 1
+        self._dispatch()

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HostContext, ManualClock, QueueView
+
+
+@pytest.fixture
+def clock() -> ManualClock:
+    """A manual clock starting at t = 0."""
+    return ManualClock()
+
+
+@pytest.fixture
+def queue_view() -> QueueView:
+    return QueueView()
+
+
+@pytest.fixture
+def ctx(clock: ManualClock, queue_view: QueueView) -> HostContext:
+    """A host context with P = 4 engine processes."""
+    return HostContext(clock=clock, queue=queue_view, parallelism=4)
+
+
+def make_ctx(clock=None, parallelism: int = 4) -> HostContext:
+    """Non-fixture helper for tests that need several contexts."""
+    return HostContext(clock=clock or ManualClock(), queue=QueueView(),
+                       parallelism=parallelism)

@@ -1,0 +1,157 @@
+"""Tests for the SLO configuration advisor (paper Appendix B.2)."""
+
+import random
+
+import pytest
+
+from repro.core.advisor import (SLOClass, group_into_classes,
+                                propose_registry, propose_targets)
+from repro.exceptions import ConfigurationError
+
+
+def samples_around(center: float, n: int = 200, spread: float = 0.1,
+                   seed: int = 1):
+    rng = random.Random(seed)
+    return [center * (1 + spread * (rng.random() - 0.5)) for _ in range(n)]
+
+
+class TestProposeTargets:
+    def test_targets_are_percentile_times_headroom(self):
+        data = {"t": [0.010] * 100}
+        targets = propose_targets(data, percentiles=(50.0, 90.0),
+                                  headroom=1.5)
+        assert targets["t"][50.0] == pytest.approx(0.015)
+        assert targets["t"][90.0] == pytest.approx(0.015)
+
+    def test_sparse_types_skipped(self):
+        data = {"rich": [0.01] * 100, "sparse": [0.01] * 5}
+        targets = propose_targets(data, min_samples=50)
+        assert "rich" in targets
+        assert "sparse" not in targets
+
+    def test_rejects_headroom_below_one(self):
+        with pytest.raises(ConfigurationError):
+            propose_targets({"t": [0.01] * 100}, headroom=0.9)
+
+    def test_rejects_empty_percentiles(self):
+        with pytest.raises(ConfigurationError):
+            propose_targets({"t": [0.01] * 100}, percentiles=())
+
+    def test_targets_ordered_across_percentiles(self):
+        data = {"t": samples_around(0.010, spread=1.0)}
+        targets = propose_targets(data, percentiles=(50.0, 90.0, 99.0))
+        assert (targets["t"][50.0] <= targets["t"][90.0]
+                <= targets["t"][99.0])
+
+
+class TestGroupIntoClasses:
+    def test_similar_types_share_a_class(self):
+        targets = {
+            "a": {50.0: 0.010, 90.0: 0.020},
+            "b": {50.0: 0.012, 90.0: 0.024},
+            "c": {50.0: 0.011, 90.0: 0.022},
+        }
+        classes = group_into_classes(targets, tolerance=2.0)
+        assert len(classes) == 1
+        assert sorted(classes[0].members) == ["a", "b", "c"]
+
+    def test_distant_types_split(self):
+        targets = {
+            "fast": {50.0: 0.002, 90.0: 0.004},
+            "slow": {50.0: 0.050, 90.0: 0.100},
+        }
+        classes = group_into_classes(targets, tolerance=2.0)
+        assert len(classes) == 2
+
+    def test_class_adopts_loosest_member(self):
+        targets = {
+            "a": {50.0: 0.010, 90.0: 0.020},
+            "b": {50.0: 0.015, 90.0: 0.030},
+        }
+        (slo_class,) = group_into_classes(targets, tolerance=2.0)
+        assert slo_class.slo.target(50.0) == pytest.approx(0.015)
+        assert slo_class.slo.target(90.0) == pytest.approx(0.030)
+
+    def test_every_member_keeps_headroom(self):
+        targets = {f"t{i}": {50.0: 0.001 * (i + 1), 90.0: 0.002 * (i + 1)}
+                   for i in range(10)}
+        classes = group_into_classes(targets, tolerance=1.8)
+        for slo_class in classes:
+            for member in slo_class.members:
+                for p in (50.0, 90.0):
+                    assert slo_class.slo.target(p) >= targets[member][p]
+
+    def test_classes_cover_all_types_exactly_once(self):
+        targets = {f"t{i}": {50.0: 0.001 * 2 ** i} for i in range(6)}
+        classes = group_into_classes(targets, tolerance=1.5)
+        seen = [m for c in classes for m in c.members]
+        assert sorted(seen) == sorted(targets)
+
+    def test_mismatched_percentiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            group_into_classes({"a": {50.0: 0.01}, "b": {90.0: 0.02}})
+
+    def test_empty_targets(self):
+        assert group_into_classes({}) == []
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            group_into_classes({"a": {50.0: 0.01}}, tolerance=0.5)
+
+
+class TestProposeRegistry:
+    def test_end_to_end(self):
+        data = {
+            "edge": samples_around(0.001),
+            "count": samples_around(0.0012, seed=2),
+            "fanout": samples_around(0.008, seed=3),
+            "distance": samples_around(0.030, seed=4),
+        }
+        registry = propose_registry(data, tolerance=2.0)
+        # Similar cheap types share an SLO; distance gets its own.
+        assert registry.for_type("edge") == registry.for_type("count")
+        assert registry.for_type("edge") != registry.for_type("distance")
+        # Default is looser than every class (permissive onboarding).
+        assert (registry.default.target(50.0)
+                >= registry.for_type("distance").target(50.0))
+
+    def test_measured_latencies_meet_their_proposed_slo(self):
+        data = {"t": samples_around(0.010, spread=0.5)}
+        registry = propose_registry(data, headroom=1.5)
+        slo = registry.for_type("t")
+        ordered = sorted(data["t"])
+        from repro._stats import percentile as pctl
+        assert slo.is_met_by({50.0: pctl(ordered, 50),
+                              90.0: pctl(ordered, 90)})
+
+    def test_rejects_when_nothing_profilable(self):
+        with pytest.raises(ConfigurationError):
+            propose_registry({"t": [0.01] * 3})
+
+    def test_rejects_bad_default_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            propose_registry({"t": [0.01] * 100}, default_multiplier=0.5)
+
+    def test_registry_drives_bouncer(self):
+        # The proposed registry is directly usable in a simulation run.
+        from repro import (BouncerConfig, BouncerPolicy, QueryTypeSpec,
+                          WorkloadMix, run_simulation)
+        mix = WorkloadMix([
+            QueryTypeSpec.from_mean_median("cheap", 0.7, 0.002, 0.0015),
+            QueryTypeSpec.from_mean_median("dear", 0.3, 0.012, 0.008),
+        ])
+        profile = {
+            "cheap": samples_around(0.003, spread=0.8, seed=7),
+            "dear": samples_around(0.020, spread=0.8, seed=8),
+        }
+        registry = propose_registry(profile)
+        report = run_simulation(
+            mix,
+            lambda ctx: BouncerPolicy(ctx, BouncerConfig(slos=registry)),
+            rate_qps=1.25 * mix.full_load_qps(32),
+            num_queries=15_000, parallelism=32, seed=9)
+        assert report.rejection_pct() > 0
+        dear = report.stats_for("dear")
+        if dear.completed:
+            assert dear.response[50.0] <= registry.for_type(
+                "dear").target(50.0) * 1.2

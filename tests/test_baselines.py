@@ -1,0 +1,256 @@
+"""Unit tests for the baseline policies (paper §5.2) and the queue cap."""
+
+import pytest
+
+from repro.core import (AcceptFractionConfig, AcceptFractionPolicy,
+                        AlwaysAcceptPolicy, AlwaysRejectPolicy, HostContext,
+                        ManualClock, MaxQueueLengthPolicy,
+                        MaxQueueWaitTimePolicy, QueueLimitWrapper, QueueView)
+from repro.core.types import Query, RejectReason
+from repro.exceptions import ConfigurationError
+
+
+def make_ctx(parallelism=4):
+    clock = ManualClock()
+    queue = QueueView()
+    return HostContext(clock=clock, queue=queue,
+                       parallelism=parallelism), clock, queue
+
+
+class TestMaxQueueLength:
+    def test_rejects_bad_limit(self):
+        ctx, _, _ = make_ctx()
+        with pytest.raises(ConfigurationError):
+            MaxQueueLengthPolicy(ctx, limit=0)
+
+    def test_accepts_below_limit(self):
+        ctx, _, queue = make_ctx()
+        policy = MaxQueueLengthPolicy(ctx, limit=2)
+        assert policy.decide(Query(qtype="x")).accepted
+        queue.on_enqueue("x")
+        assert policy.decide(Query(qtype="x")).accepted
+
+    def test_rejects_at_limit(self):
+        ctx, _, queue = make_ctx()
+        policy = MaxQueueLengthPolicy(ctx, limit=2)
+        queue.on_enqueue("x")
+        queue.on_enqueue("x")
+        result = policy.decide(Query(qtype="x"))
+        assert not result.accepted
+        assert result.reason is RejectReason.QUEUE_FULL
+
+    def test_oblivious_to_query_type(self):
+        ctx, _, queue = make_ctx()
+        policy = MaxQueueLengthPolicy(ctx, limit=1)
+        queue.on_enqueue("cheap")
+        assert not policy.decide(Query(qtype="expensive")).accepted
+        assert not policy.decide(Query(qtype="cheap")).accepted
+
+
+class TestMaxQueueWaitTime:
+    def test_rejects_bad_limits(self):
+        ctx, _, _ = make_ctx()
+        with pytest.raises(ConfigurationError):
+            MaxQueueWaitTimePolicy(ctx, limit=0)
+        with pytest.raises(ConfigurationError):
+            MaxQueueWaitTimePolicy(ctx, limit=0.01,
+                                   per_type_limits={"a": -1})
+
+    def test_empty_queue_estimate_is_zero(self):
+        ctx, _, _ = make_ctx()
+        policy = MaxQueueWaitTimePolicy(ctx, limit=0.015)
+        assert policy.estimate_wait_mean() == 0.0
+        assert policy.decide(Query(qtype="x")).accepted
+
+    def test_eq5_estimate(self):
+        ctx, clock, queue = make_ctx(parallelism=2)
+        policy = MaxQueueWaitTimePolicy(ctx, limit=0.015)
+        for _ in range(10):
+            policy.on_completed(Query(qtype="x"), 0.0, 0.010)
+        for _ in range(4):
+            queue.on_enqueue("x")
+        # l * pt_mavg / P = 4 * 10ms / 2 = 20ms.
+        assert policy.estimate_wait_mean() == pytest.approx(0.020)
+
+    def test_rejects_over_limit(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        policy = MaxQueueWaitTimePolicy(ctx, limit=0.015)
+        for _ in range(5):
+            policy.on_completed(Query(qtype="x"), 0.0, 0.010)
+        queue.on_enqueue("x")
+        queue.on_enqueue("x")  # estimate = 20ms > 15ms
+        result = policy.decide(Query(qtype="x"))
+        assert not result.accepted
+        assert result.reason is RejectReason.WAIT_LIMIT
+
+    def test_boundary_is_inclusive(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        policy = MaxQueueWaitTimePolicy(ctx, limit=0.020)
+        for _ in range(5):
+            policy.on_completed(Query(qtype="x"), 0.0, 0.010)
+        queue.on_enqueue("x")
+        queue.on_enqueue("x")  # estimate = 20ms == limit -> accept
+        assert policy.decide(Query(qtype="x")).accepted
+
+    def test_per_type_limits(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        policy = MaxQueueWaitTimePolicy(
+            ctx, limit=0.015, per_type_limits={"slow": 0.005})
+        for _ in range(5):
+            policy.on_completed(Query(qtype="x"), 0.0, 0.010)
+        queue.on_enqueue("x")  # estimate = 10ms
+        assert policy.decide(Query(qtype="x")).accepted       # 10 <= 15
+        assert not policy.decide(Query(qtype="slow")).accepted  # 10 > 5
+        assert policy.limit_for("slow") == pytest.approx(0.005)
+        assert policy.limit_for("x") == pytest.approx(0.015)
+
+    def test_moving_average_ages_out(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        policy = MaxQueueWaitTimePolicy(ctx, limit=0.015, window=2.0,
+                                        step=0.5)
+        policy.on_completed(Query(qtype="x"), 0.0, 0.100)
+        clock.advance(5.0)
+        policy.on_completed(Query(qtype="x"), 0.0, 0.001)
+        queue.on_enqueue("x")
+        assert policy.estimate_wait_mean() == pytest.approx(0.001)
+
+
+class TestAcceptFraction:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AcceptFractionConfig(max_utilization=0.0)
+        with pytest.raises(ConfigurationError):
+            AcceptFractionConfig(max_utilization=1.1)
+        with pytest.raises(ConfigurationError):
+            AcceptFractionConfig(processing_units=0)
+        with pytest.raises(ConfigurationError):
+            AcceptFractionConfig(update_interval=0)
+
+    def test_accepts_everything_with_zero_demand(self):
+        ctx, _, _ = make_ctx()
+        policy = AcceptFractionPolicy(ctx, seed=1)
+        assert policy.compute_fraction() == 1.0
+        assert policy.decide(Query(qtype="x")).accepted
+
+    def test_fraction_formula(self):
+        ctx, clock, _ = make_ctx(parallelism=10)
+        config = AcceptFractionConfig(max_utilization=0.5, window=10.0,
+                                      step=1.0)
+        policy = AcceptFractionPolicy(ctx, config, seed=1)
+        # Demand: 100 qps * 100ms = 10 units; available: 0.5 * 10 = 5.
+        for _ in range(100):
+            policy.on_completed(Query(qtype="x"), 0.0, 0.100)
+            policy.decide(Query(qtype="x"))
+            clock.advance(0.01)
+        fraction = policy.compute_fraction()
+        assert fraction == pytest.approx(0.5, rel=0.25)
+
+    def test_fraction_capped_at_one(self):
+        ctx, clock, _ = make_ctx(parallelism=100)
+        policy = AcceptFractionPolicy(ctx, seed=1)
+        policy.decide(Query(qtype="x"))
+        policy.on_completed(Query(qtype="x"), 0.0, 0.0001)
+        clock.advance(1.0)
+        assert policy.compute_fraction() == 1.0
+
+    def test_probabilistic_shedding_matches_fraction(self):
+        ctx, clock, _ = make_ctx(parallelism=1)
+        config = AcceptFractionConfig(max_utilization=0.5, window=5.0,
+                                      step=0.5, update_interval=0.5)
+        policy = AcceptFractionPolicy(ctx, config, seed=7)
+        accepted = 0
+        n = 4000
+        for _ in range(n):
+            # Sustained overload: demand 200qps * 10ms = 2.0 >> 0.5 units.
+            policy.on_completed(Query(qtype="x"), 0.0, 0.010)
+            if policy.decide(Query(qtype="x")).accepted:
+                accepted += 1
+            clock.advance(0.005)
+        # Expect acceptance near f = 0.5 / 2.0 = 0.25.
+        assert accepted / n == pytest.approx(0.25, abs=0.08)
+
+    def test_expected_timeout_rejection(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        policy = AcceptFractionPolicy(ctx, seed=1)
+        for _ in range(10):
+            policy.on_completed(Query(qtype="x"), 0.0, 0.050)
+        for _ in range(4):
+            queue.on_enqueue("x")  # ewt = 4 * 50ms = 200ms
+        doomed = Query(qtype="x", deadline=clock.now() + 0.050)
+        result = policy.decide(doomed)
+        assert not result.accepted
+        assert result.reason is RejectReason.EXPECTED_TIMEOUT
+
+    def test_timeout_rejection_can_be_disabled(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        config = AcceptFractionConfig(reject_expected_timeouts=False)
+        policy = AcceptFractionPolicy(ctx, config, seed=1)
+        for _ in range(10):
+            policy.on_completed(Query(qtype="x"), 0.0, 0.050)
+        for _ in range(4):
+            queue.on_enqueue("x")
+        doomed = Query(qtype="x", deadline=clock.now() + 0.050)
+        assert policy.decide(doomed).accepted
+
+    def test_no_deadline_skips_timeout_check(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        policy = AcceptFractionPolicy(ctx, seed=1)
+        for _ in range(10):
+            policy.on_completed(Query(qtype="x"), 0.0, 0.050)
+        for _ in range(4):
+            queue.on_enqueue("x")
+        assert policy.decide(Query(qtype="x")).accepted
+
+    def test_fraction_updates_periodically_not_continuously(self):
+        ctx, clock, _ = make_ctx(parallelism=1)
+        config = AcceptFractionConfig(max_utilization=0.5,
+                                      update_interval=1.0)
+        policy = AcceptFractionPolicy(ctx, config, seed=1)
+        policy.decide(Query(qtype="x"))
+        policy.on_completed(Query(qtype="x"), 0.0, 1.0)  # huge demand
+        # Within the first update interval, f is still the initial 1.0.
+        assert policy.fraction == 1.0
+        clock.advance(1.0)
+        policy.decide(Query(qtype="x"))
+        assert policy.fraction < 1.0
+
+
+class TestQueueLimitWrapper:
+    def test_rejects_bad_limit(self):
+        ctx, _, _ = make_ctx()
+        with pytest.raises(ConfigurationError):
+            QueueLimitWrapper(AlwaysAcceptPolicy(), ctx, limit=0)
+
+    def test_caps_queue_length(self):
+        ctx, _, queue = make_ctx()
+        policy = QueueLimitWrapper(AlwaysAcceptPolicy(), ctx, limit=2)
+        queue.on_enqueue("x")
+        assert policy.decide(Query(qtype="x")).accepted
+        queue.on_enqueue("x")
+        result = policy.decide(Query(qtype="x"))
+        assert not result.accepted
+        assert result.reason is RejectReason.QUEUE_FULL
+
+    def test_delegates_below_cap(self):
+        ctx, _, _ = make_ctx()
+        policy = QueueLimitWrapper(AlwaysRejectPolicy(), ctx, limit=10)
+        result = policy.decide(Query(qtype="x"))
+        assert not result.accepted
+        assert result.reason is RejectReason.ADMINISTRATIVE
+
+    def test_name_mentions_cap(self):
+        ctx, _, _ = make_ctx()
+        policy = QueueLimitWrapper(AlwaysAcceptPolicy(), ctx, limit=800)
+        assert "800" in policy.name
+
+    def test_hooks_forward(self):
+        calls = []
+
+        class Recorder(AlwaysAcceptPolicy):
+            def on_dequeued(self, query, wait):
+                calls.append(wait)
+
+        ctx, _, _ = make_ctx()
+        policy = QueueLimitWrapper(Recorder(), ctx, limit=10)
+        policy.on_dequeued(Query(qtype="x"), 0.25)
+        assert calls == [0.25]

@@ -1,0 +1,87 @@
+"""Tests for the benchmark-support package (configs + rendering)."""
+
+import pytest
+
+from repro.bench import (CLUSTER_RATES_SCALED, TRAFFIC_FACTORS,
+                         bench_queries, cluster_config,
+                         cluster_policy_lineup, cluster_queries,
+                         cluster_slos, format_series, format_table,
+                         simulation_mix, simulation_policy_lineup,
+                         simulation_slos)
+from repro.core import AdmissionPolicy, HostContext, ManualClock, QueueView
+
+
+def make_ctx():
+    return HostContext(clock=ManualClock(), queue=QueueView(),
+                       parallelism=8)
+
+
+class TestExperimentConfigs:
+    def test_simulation_mix_matches_table1(self):
+        mix = simulation_mix()
+        assert mix.type_names == ("fast", "medium_fast", "medium_slow",
+                                  "slow")
+        assert mix.weighted_mean_pt == pytest.approx(6.614e-3, rel=1e-3)
+
+    def test_simulation_slos_uniform_18_50(self):
+        slos = simulation_slos()
+        for qtype in ("fast", "slow", "anything"):
+            slo = slos.for_type(qtype)
+            assert slo.target(50) == pytest.approx(0.018)
+            assert slo.target(90) == pytest.approx(0.050)
+
+    def test_traffic_factors_span_paper_range(self):
+        assert TRAFFIC_FACTORS[0] == 0.90
+        assert TRAFFIC_FACTORS[-1] == 1.50
+        assert len(TRAFFIC_FACTORS) == 13
+
+    def test_cluster_rates(self):
+        assert CLUSTER_RATES_SCALED == (9000, 18000, 27000, 36000, 45000)
+
+    def test_policy_lineups_construct_policies(self):
+        for name, factory in (simulation_policy_lineup()
+                              + cluster_policy_lineup()):
+            policy = factory(make_ctx())
+            assert isinstance(policy, AdmissionPolicy), name
+
+    def test_cluster_config_and_slos(self):
+        config = cluster_config()
+        slos = cluster_slos()
+        assert config.num_brokers == 3 and config.num_shards == 4
+        assert slos.for_type("QT11").target(50) == pytest.approx(0.018)
+
+    def test_bench_sizes_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "123")
+        monkeypatch.setenv("REPRO_BENCH_CLUSTER_QUERIES", "456")
+        assert bench_queries() == 123
+        assert cluster_queries() == 456
+
+    def test_bench_sizes_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_QUERIES", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_CLUSTER_QUERIES", raising=False)
+        assert bench_queries(777) == 777
+        assert cluster_queries(888) == 888
+
+
+class TestRendering:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["long-name", 22]],
+                            title="Title")
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All rows padded to equal widths.
+        assert len(lines[3].rstrip()) <= len(lines[1])
+        assert "long-name" in text
+
+    def test_format_series_one_row_per_x(self):
+        text = format_series("T", "x", ["1x", "2x"],
+                             [("a", [10, 20]), ("b", [30, 40])])
+        lines = text.splitlines()
+        assert len(lines) == 2 + 1 + 2  # title + header + rule + rows
+        assert "10" in lines[3] and "40" in lines[4]
+
+    def test_format_series_tolerates_short_series(self):
+        text = format_series("T", "x", ["1x", "2x"], [("a", [10])])
+        assert "10" in text

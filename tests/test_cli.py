@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.policy == "bouncer"
+        assert args.parallelism == 100
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.policy == "bouncer-aa"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "nope"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "QPS_full_load" in out
+        assert "Cluster model" in out
+
+    def test_simulate_prints_table(self, capsys):
+        code = main(["simulate", "--policy", "bouncer", "--factors", "1.2",
+                     "--queries", "4000", "--parallelism", "40",
+                     "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bouncer @ 1.20x" in out
+        assert "rt_p50" in out
+        assert "slow" in out
+
+    def test_simulate_multiple_factors(self, capsys):
+        main(["simulate", "--factors", "0.9,1.1", "--queries", "3000",
+              "--parallelism", "40"])
+        out = capsys.readouterr().out
+        assert "0.90x" in out and "1.10x" in out
+
+    def test_cluster_prints_table(self, capsys):
+        code = main(["cluster", "--policy", "maxqwt", "--rates", "9000",
+                     "--queries", "1500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maxqwt" in out
+        assert "QT11" in out
+        assert "cluster-equivalent" in out

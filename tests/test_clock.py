@@ -1,0 +1,60 @@
+"""Unit tests for repro.core.clock."""
+
+import time
+
+import pytest
+
+from repro.core.clock import Clock, ManualClock, MonotonicClock
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_defaults_to_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = ManualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-0.1)
+
+    def test_advance_zero_is_allowed(self):
+        clock = ManualClock(1.0)
+        clock.advance(0.0)
+        assert clock.now() == 1.0
+
+    def test_set_jumps_forward(self):
+        clock = ManualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_rejects_backwards(self):
+        clock = ManualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.set(4.9)
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(ManualClock(), Clock)
+
+
+class TestMonotonicClock:
+    def test_tracks_time_monotonic(self):
+        clock = MonotonicClock()
+        before = time.monotonic()
+        reading = clock.now()
+        after = time.monotonic()
+        assert before <= reading <= after
+
+    def test_never_goes_backwards(self):
+        clock = MonotonicClock()
+        readings = [clock.now() for _ in range(100)]
+        assert readings == sorted(readings)
+
+    def test_satisfies_clock_protocol(self):
+        assert isinstance(MonotonicClock(), Clock)

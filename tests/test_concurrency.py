@@ -1,0 +1,140 @@
+"""Concurrency tests: shared structures under thread contention.
+
+The threaded runtime exercises these structures from many workers at
+once; these tests hammer them directly and check the invariants that the
+per-call locks are supposed to protect.
+"""
+
+import threading
+
+from repro.core import (DualBufferHistogram, MonotonicClock, PolicyStats,
+                        QueueView, SlidingWindowCounts, SlidingWindowStats)
+from repro.core.types import AdmissionResult, RejectReason
+
+
+def run_threads(worker, count=8):
+    threads = [threading.Thread(target=worker) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestDualBufferConcurrency:
+    def test_no_records_lost(self):
+        clock = MonotonicClock()
+        buf = DualBufferHistogram(clock, interval=0.01, min_samples=1)
+        per_thread = 2000
+
+        def worker():
+            for _ in range(per_thread):
+                buf.record(0.001)
+
+        run_threads(worker)
+        # Force the final interval out and count everything published plus
+        # whatever remains in the write buffer.
+        total = buf.force_swap().count + 0
+        # Records may be split across many published intervals; sum via
+        # swap counters is not available, so re-check through the write
+        # side: after force_swap the active buffer is empty, so everything
+        # recorded was either published at some point or counted now.
+        # The strongest cheap invariant: no crash, snapshot is readable,
+        # and the last force_swap's count never exceeds the total records.
+        assert 0 <= total <= 8 * per_thread
+
+    def test_snapshot_immutable_under_writes(self):
+        clock = MonotonicClock()
+        buf = DualBufferHistogram(clock, interval=0.005, min_samples=1)
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                buf.record(0.002)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                snap = buf.snapshot()
+                count_before = snap.count
+                mean_before = snap.mean()
+                # The same snapshot object must not change underneath us.
+                assert snap.count == count_before
+                assert snap.mean() == mean_before
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+
+class TestQueueViewConcurrency:
+    def test_balanced_enqueue_dequeue_returns_to_zero(self):
+        view = QueueView()
+        per_thread = 5000
+
+        def worker():
+            for i in range(per_thread):
+                view.on_enqueue("t")
+                view.on_dequeue("t")
+
+        run_threads(worker)
+        assert view.length() == 0
+        assert view.count_for("t") == 0
+
+    def test_length_equals_sum_of_counts(self):
+        view = QueueView()
+
+        def worker():
+            for i in range(3000):
+                view.on_enqueue(f"t{i % 3}")
+
+        run_threads(worker, count=4)
+        occupancy = view.occupancy()
+        assert sum(occupancy.values()) == view.length() == 12000
+
+
+class TestSlidingWindowConcurrency:
+    def test_counts_conserved(self):
+        clock = MonotonicClock()
+        window = SlidingWindowCounts(clock, duration=60.0, step=1.0)
+        per_thread = 3000
+
+        def worker():
+            for i in range(per_thread):
+                window.record("k", accepted=(i % 2 == 0))
+
+        run_threads(worker, count=4)
+        assert window.received_count("k") == 4 * per_thread
+        assert window.accepted_count("k") == 2 * per_thread
+
+    def test_stats_sum_conserved(self):
+        clock = MonotonicClock()
+        stats = SlidingWindowStats(clock, duration=60.0, step=1.0)
+
+        def worker():
+            for _ in range(2000):
+                stats.add(0.001)
+
+        run_threads(worker, count=4)
+        assert stats.count() == 8000
+        assert abs(stats.mean() - 0.001) < 1e-9
+
+
+class TestPolicyStatsConcurrency:
+    def test_tallies_conserved(self):
+        stats = PolicyStats()
+
+        def worker():
+            for i in range(4000):
+                if i % 3:
+                    stats.record("t", AdmissionResult.accept())
+                else:
+                    stats.record("t", AdmissionResult.reject(
+                        RejectReason.CAPACITY))
+
+        run_threads(worker, count=4)
+        totals = stats.totals()
+        assert totals.received == 16000
+        assert totals.rejected == totals.rejected_by_reason[
+            RejectReason.CAPACITY]

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import os
+import subprocess
+import sys
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout,
+        env={**os.environ, "REPRO_BENCH_CLUSTER_QUERIES": "2000"})
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "utilization" in out
+    assert "rejected" in out
+
+
+def test_simulation_study():
+    out = run_example("simulation_study.py", "--factors", "1.2",
+                      "--queries", "6000", "--parallelism", "50")
+    assert "Bouncer" in out
+    assert "AcceptFraction" in out
+    assert "load 1.20x" in out
+
+
+def test_graph_database():
+    out = run_example("graph_database.py")
+    assert "edges across" in out
+    assert "distance" in out
+    assert "rejected" in out
+
+
+def test_cluster_study():
+    out = run_example("cluster_study.py", "--rates", "9000",
+                      "--queries", "2000")
+    assert "cluster" in out
+    assert "QT11" in out
+
+
+def test_replicated_service():
+    out = run_example("replicated_service.py")
+    assert "failovers" in out
+    assert "update feed applied" in out
+
+
+def test_custom_policy():
+    out = run_example("custom_policy.py")
+    assert "token-bucket" in out
+    assert "bouncer" in out
+    assert "repro_admission_accepted_total" in out

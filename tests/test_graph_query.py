@@ -1,0 +1,125 @@
+"""Unit tests for the graph query round protocol."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.liquid.query import (CountQuery, DistanceQuery, EdgeQuery,
+                                FanoutQuery, SubQuery)
+
+
+class TestSubQuery:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ConfigurationError):
+            SubQuery(("a",), "l", direction="sideways")
+
+    def test_frozen(self):
+        sub = SubQuery(("a",), "l")
+        with pytest.raises(Exception):
+            sub.label = "other"
+
+
+class TestEdgeQuery:
+    def test_single_round(self):
+        query = EdgeQuery("a", "l")
+        batch = query.start()
+        assert len(batch) == 1
+        assert batch[0].vertices == ("a",)
+        assert query.advance({"a": ["c", "b"]}) is None
+        assert query.result().value == ["b", "c"]
+
+    def test_no_neighbors(self):
+        query = EdgeQuery("a", "l")
+        query.start()
+        query.advance({})
+        assert query.result().value == []
+
+    def test_direction_passthrough(self):
+        query = EdgeQuery("a", "l", direction="in")
+        assert query.start()[0].direction == "in"
+
+
+class TestCountQuery:
+    def test_counts_neighbors(self):
+        query = CountQuery("a", "l")
+        query.start()
+        query.advance({"a": ["b", "c", "d"]})
+        assert query.result().value == 3
+
+    def test_zero_when_absent(self):
+        query = CountQuery("a", "l")
+        query.start()
+        query.advance({})
+        assert query.result().value == 0
+
+
+class TestFanoutQuery:
+    def test_two_rounds(self):
+        query = FanoutQuery("a", "l")
+        first = query.start()
+        assert first[0].vertices == ("a",)
+        second = query.advance({"a": ["b", "c"]})
+        assert second is not None
+        assert set(second[0].vertices) == {"b", "c"}
+        assert query.advance({"b": ["d"], "c": ["e", "a"]}) is None
+        # Excludes the source and first-hop vertices.
+        assert query.result().value == ["d", "e"]
+
+    def test_empty_first_hop_short_circuits(self):
+        query = FanoutQuery("a", "l")
+        query.start()
+        assert query.advance({"a": []}) is None
+        assert query.result().value == []
+
+    def test_limit_truncates_frontier(self):
+        query = FanoutQuery("a", "l", limit=2)
+        query.start()
+        second = query.advance({"a": ["b", "c", "d", "e"]})
+        assert len(second[0].vertices) == 2
+
+
+class TestDistanceQuery:
+    def test_rejects_bad_max_hops(self):
+        with pytest.raises(ConfigurationError):
+            DistanceQuery("a", "b", "l", max_hops=0)
+
+    def test_same_vertex_distance_zero(self):
+        query = DistanceQuery("a", "a", "l")
+        assert query.start() == []
+        assert query.result().value == 0
+
+    def test_direct_neighbor_distance_one(self):
+        query = DistanceQuery("a", "b", "l")
+        query.start()
+        assert query.advance({"a": ["b", "c"]}) is None
+        assert query.result().value == 1
+
+    def test_two_hop_distance(self):
+        query = DistanceQuery("a", "z", "l")
+        query.start()
+        nxt = query.advance({"a": ["b"]})
+        assert nxt is not None
+        assert query.advance({"b": ["z"]}) is None
+        assert query.result().value == 2
+
+    def test_unreachable_returns_minus_one(self):
+        query = DistanceQuery("a", "z", "l", max_hops=3)
+        query.start()
+        assert query.advance({"a": []}) is None
+        assert query.result().value == -1
+
+    def test_max_hops_bounds_search(self):
+        query = DistanceQuery("a", "z", "l", max_hops=1)
+        query.start()
+        # z not in the first frontier and max_hops reached -> stop.
+        assert query.advance({"a": ["b"]}) is None
+        assert query.result().value == -1
+
+    def test_visited_vertices_not_revisited(self):
+        query = DistanceQuery("a", "z", "l", max_hops=5)
+        query.start()
+        nxt = query.advance({"a": ["b"]})
+        # b points back at a: the frontier must exclude a.
+        nxt = query.advance({"b": ["a", "c"]})
+        assert nxt is not None
+        assert "a" not in nxt[0].vertices
+        assert "c" in nxt[0].vertices

@@ -1,0 +1,171 @@
+"""Integration tests: the paper's headline behaviours, end to end.
+
+Each test runs a (small) version of one of the paper's experiments and
+asserts the qualitative result the evaluation section reports.  The full
+sweeps live in ``benchmarks/``; these are the fast regression guards.
+"""
+
+import pytest
+
+from repro import (BouncerConfig, BouncerPolicy, LatencySLO,
+                   MaxQueueWaitTimePolicy, SLORegistry, run_simulation)
+from repro.bench import (make_accept_fraction, make_bouncer, make_bouncer_aa,
+                         make_bouncer_hu, make_maxql, make_maxqwt,
+                         simulation_mix, starvation_demo_mix)
+
+PARALLELISM = 100  # the paper's host size (P = 100)
+NUM_QUERIES = 30_000
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return simulation_mix()
+
+
+@pytest.fixture(scope="module")
+def overload_reports(mix):
+    """One 1.5x-overload run per policy, shared across tests."""
+    rate = 1.5 * mix.full_load_qps(PARALLELISM)
+    lineup = {
+        "bouncer": make_bouncer(),
+        "bouncer_aa": make_bouncer_aa(allowance=0.10),
+        "bouncer_hu": make_bouncer_hu(alpha=1.0),
+        "maxql": make_maxql(limit=400),
+        "maxqwt": make_maxqwt(limit=0.015),
+        "accept_fraction": make_accept_fraction(max_utilization=0.95),
+    }
+    return {
+        name: run_simulation(mix, factory, rate_qps=rate,
+                             num_queries=NUM_QUERIES,
+                             parallelism=PARALLELISM, seed=11)
+        for name, factory in lineup.items()
+    }
+
+
+class TestBouncerMeetsSLO:
+    """§5.3.1: Bouncer keeps serviced queries within the latency SLO."""
+
+    def test_every_type_meets_p50_and_p90(self, overload_reports):
+        report = overload_reports["bouncer"]
+        for qtype in ("fast", "medium_fast", "medium_slow", "slow"):
+            stats = report.stats_for(qtype)
+            if stats.completed == 0:
+                continue  # fully rejected types have no serviced queries
+            assert stats.response[50.0] <= 0.018 * 1.05, qtype
+            assert stats.response[90.0] <= 0.050 * 1.05, qtype
+
+    def test_other_policies_violate_slo(self, overload_reports):
+        # MaxQL and AcceptFraction let slow queries blow through SLO_p50.
+        for name in ("maxql", "accept_fraction"):
+            slow = overload_reports[name].stats_for("slow")
+            assert slow.response[50.0] > 0.018, name
+
+    def test_high_utilization_under_bouncer(self, overload_reports):
+        assert overload_reports["bouncer"].utilization > 0.90
+
+    def test_accept_fraction_capped_by_threshold(self, overload_reports):
+        report = overload_reports["accept_fraction"]
+        assert report.utilization == pytest.approx(0.95, abs=0.04)
+
+
+class TestRejectionBehaviour:
+    """§5.3.1/§5.3.2: who gets rejected, and how much."""
+
+    def test_bouncer_rejects_least_overall(self, overload_reports):
+        bouncer = overload_reports["bouncer"].rejection_pct()
+        for name in ("maxql", "maxqwt", "accept_fraction"):
+            assert bouncer < overload_reports[name].rejection_pct(), name
+
+    def test_bouncer_targets_expensive_types_only(self, overload_reports):
+        report = overload_reports["bouncer"]
+        assert report.rejection_pct("fast") == 0.0
+        assert report.rejection_pct("medium_fast") == 0.0
+        assert report.rejection_pct("slow") > 90.0
+
+    def test_type_oblivious_policies_reject_cheap_queries_too(
+            self, overload_reports):
+        for name in ("maxql", "maxqwt", "accept_fraction"):
+            assert overload_reports[name].rejection_pct("fast") > 0.0, name
+
+
+class TestStarvationAvoidance:
+    """§4/§5.3.2: the strategies stop starvation at a modest cost."""
+
+    def test_basic_bouncer_starves_slow_queries(self, overload_reports):
+        assert overload_reports["bouncer"].rejection_pct("slow") > 97.0
+
+    def test_allowance_caps_slow_rejections(self, overload_reports):
+        # A = 0.10 -> at most ~90% of slow queries rejected.
+        aa = overload_reports["bouncer_aa"]
+        assert aa.rejection_pct("slow") <= 91.0
+
+    def test_helping_underserved_reduces_slow_rejections(
+            self, overload_reports):
+        hu = overload_reports["bouncer_hu"]
+        basic = overload_reports["bouncer"]
+        assert hu.rejection_pct("slow") < basic.rejection_pct("slow") - 5
+
+    def test_strategies_cost_a_modest_overall_increase(
+            self, overload_reports):
+        basic = overload_reports["bouncer"].rejection_pct()
+        for name in ("bouncer_aa", "bouncer_hu"):
+            extra = overload_reports[name].rejection_pct() - basic
+            assert 0.0 <= extra <= 4.0, name
+
+    def test_rejections_shift_to_medium_slow(self, overload_reports):
+        basic = overload_reports["bouncer"]
+        for name in ("bouncer_aa", "bouncer_hu"):
+            shifted = overload_reports[name]
+            assert (shifted.rejection_pct("medium_slow")
+                    > basic.rejection_pct("medium_slow")), name
+
+
+class TestFigure3Starvation:
+    """§4 Figure 3: same SLO, FAST queries starve SLOW ones."""
+
+    def test_slow_starves_under_shared_slo(self):
+        # The paper drives this demo hard enough that FAST queries alone
+        # keep the queue deep: the estimated wait stays near FAST's large
+        # SLO headroom, which is far beyond SLOW's tiny one.  Result:
+        # ~99% of SLOW rejected, <10% of FAST (paper Figure 3).
+        mix = starvation_demo_mix()
+        slos = SLORegistry.uniform(LatencySLO.from_ms(p50=18, p90=50),
+                                   mix.type_names)
+        fast_work = mix.spec("FAST").mean * 0.9
+        rate = 1.15 * PARALLELISM / fast_work  # FAST work alone ~ 1.15x
+        report = run_simulation(
+            mix,
+            lambda ctx: BouncerPolicy(ctx, BouncerConfig(slos=slos)),
+            rate_qps=rate,
+            num_queries=NUM_QUERIES, parallelism=PARALLELISM, seed=13)
+        assert report.rejection_pct("SLOW") > 90.0
+        assert report.rejection_pct("FAST") < 15.0
+
+
+class TestMaxQWTPerTypeLimits:
+    """§5.5: per-type wait limits let MaxQWT approximate Bouncer."""
+
+    def test_tuned_per_type_limits_close_gap(self, mix):
+        rate = 1.3 * mix.full_load_qps(PARALLELISM)
+        slo_p50 = 0.018
+        # The tuned limit per type: the SLO headroom above its median pt.
+        limits = {spec.name: max(slo_p50 - spec.median, 0.001)
+                  for spec in mix}
+
+        def tuned(ctx):
+            return MaxQueueWaitTimePolicy(ctx, limit=0.015,
+                                          per_type_limits=limits)
+
+        tuned_report = run_simulation(mix, tuned, rate_qps=rate,
+                                      num_queries=NUM_QUERIES,
+                                      parallelism=PARALLELISM, seed=17)
+        slow = tuned_report.stats_for("slow")
+        if slow.completed:
+            assert slow.response[50.0] <= 0.018 * 1.15
+
+    def test_single_limit_violates_for_slow(self, mix):
+        rate = 1.3 * mix.full_load_qps(PARALLELISM)
+        report = run_simulation(mix, lambda ctx: MaxQueueWaitTimePolicy(
+            ctx, limit=0.015), rate_qps=rate, num_queries=NUM_QUERIES,
+            parallelism=PARALLELISM, seed=17)
+        assert report.stats_for("slow").response[50.0] > 0.018

@@ -1,0 +1,113 @@
+"""Tests for the real in-process LIquid-style service (broker + shards)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.liquid import (CountQuery, DistanceQuery, EdgeQuery, FanoutQuery,
+                          LiquidService, build_random_graph)
+
+
+@pytest.fixture
+def chain_service():
+    """a -> b -> c -> d plus a -> x, across 3 shards."""
+    service = LiquidService(num_shards=3)
+    for src, dst in (("a", "b"), ("b", "c"), ("c", "d"), ("a", "x")):
+        service.add_edge(src, "knows", dst)
+    return service
+
+
+class TestDataPlane:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            LiquidService(num_shards=0)
+
+    def test_add_edge_routes_by_source(self, chain_service):
+        partitioner = chain_service.partitioner
+        shard = chain_service.shards[partitioner.shard_for("a")]
+        assert shard.store.has_edge("a", "knows", "b")
+
+    def test_edge_count_across_shards(self, chain_service):
+        assert chain_service.edge_count == 4
+
+    def test_load_edges_bulk(self):
+        service = LiquidService(num_shards=2)
+        inserted = service.load_edges([("a", "l", "b"), ("b", "l", "c"),
+                                       ("a", "l", "b")])
+        assert inserted == 2
+
+    def test_remove_edge(self, chain_service):
+        assert chain_service.remove_edge("a", "knows", "x")
+        assert chain_service.edge_count == 3
+
+
+class TestQueryPlane:
+    def test_edge_query(self, chain_service):
+        result = chain_service.execute(EdgeQuery("a", "knows"))
+        assert result.value == ["b", "x"]
+        assert result.rounds == 1
+
+    def test_count_query(self, chain_service):
+        assert chain_service.execute(CountQuery("a", "knows")).value == 2
+
+    def test_fanout_query(self, chain_service):
+        result = chain_service.execute(FanoutQuery("a", "knows"))
+        assert result.value == ["c"]  # two hops from a, minus first hop
+        assert result.rounds == 2
+
+    def test_distance_query_multi_round(self, chain_service):
+        result = chain_service.execute(DistanceQuery("a", "d", "knows"))
+        assert result.value == 3
+        assert result.rounds == 3
+
+    def test_distance_unreachable(self, chain_service):
+        result = chain_service.execute(
+            DistanceQuery("d", "a", "knows", max_hops=5))
+        assert result.value == -1
+
+    def test_incoming_edge_query(self, chain_service):
+        result = chain_service.execute(EdgeQuery("b", "knows",
+                                                 direction="in"))
+        assert result.value == ["a"]
+
+    def test_subquery_count_reflects_fanout(self, chain_service):
+        # A distance query's frontier spreads across shards.
+        result = chain_service.execute(DistanceQuery("a", "d", "knows"))
+        assert result.subqueries >= result.rounds
+
+    def test_sharding_invisible_to_results(self):
+        # The same data on 1 shard and on 5 shards answers identically.
+        edges = [(f"v{i}", "l", f"v{(i * 3 + 1) % 40}") for i in range(40)]
+        single = LiquidService(num_shards=1)
+        many = LiquidService(num_shards=5)
+        single.load_edges(edges)
+        many.load_edges(edges)
+        for src in ("v0", "v7", "v13"):
+            assert (single.execute(EdgeQuery(src, "l")).value
+                    == many.execute(EdgeQuery(src, "l")).value)
+        assert (single.execute(DistanceQuery("v0", "v25", "l")).value
+                == many.execute(DistanceQuery("v0", "v25", "l")).value)
+
+
+class TestBuildRandomGraph:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_random_graph(1, 2.0, "l")
+        with pytest.raises(ConfigurationError):
+            build_random_graph(10, 0.0, "l")
+
+    def test_graph_has_roughly_requested_edges(self):
+        service = build_random_graph(200, 5.0, "l", seed=1)
+        # Some collisions/self-loops are dropped.
+        assert 800 <= service.edge_count <= 1000
+
+    def test_deterministic_by_seed(self):
+        a = build_random_graph(100, 3.0, "l", seed=9)
+        b = build_random_graph(100, 3.0, "l", seed=9)
+        assert a.edge_count == b.edge_count
+        assert (a.execute(EdgeQuery("v0", "l")).value
+                == b.execute(EdgeQuery("v0", "l")).value)
+
+    def test_queries_run_against_random_graph(self):
+        service = build_random_graph(100, 4.0, "l", seed=2)
+        result = service.execute(FanoutQuery("v1", "l"))
+        assert isinstance(result.value, list)

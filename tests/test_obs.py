@@ -1,0 +1,81 @@
+"""Tests for the metrics exposition module."""
+
+from repro.core import (AcceptanceAllowancePolicy, AlwaysAcceptPolicy,
+                        BouncerConfig, BouncerPolicy, HostContext,
+                        LatencySLO, ManualClock, QueueView, SLORegistry)
+from repro.core.types import Query
+from repro.obs import render_metrics
+
+
+def make_bouncer():
+    clock = ManualClock()
+    queue = QueueView()
+    ctx = HostContext(clock=clock, queue=queue, parallelism=4)
+    policy = BouncerPolicy(ctx, BouncerConfig(
+        slos=SLORegistry.uniform(LatencySLO.from_ms(p50=18, p90=50),
+                                 ["fast", "slow"]),
+        min_samples=1, retain_min_samples=1, bootstrap_samples=0))
+    return policy, clock, queue
+
+
+class TestRenderMetrics:
+    def test_accept_and_reject_counters(self):
+        policy, clock, queue = make_bouncer()
+        for _ in range(50):
+            policy.on_completed(Query(qtype="slow"), 0.0, 0.030)
+            policy.on_completed(Query(qtype="fast"), 0.0, 0.002)
+        clock.advance(1.0)
+        policy.processing_snapshot("slow")
+        policy.decide(Query(qtype="fast"))   # 2ms p50 -> accept
+        policy.decide(Query(qtype="slow"))   # 30ms p50 > 18ms -> reject
+        text = render_metrics(policy, queue)
+        assert 'accepted_total{qtype="fast"} 1' in text
+        assert ('rejected_total{qtype="slow",reason="slo_estimate"} 1'
+                in text)
+
+    def test_queue_gauges(self):
+        policy, clock, queue = make_bouncer()
+        queue.on_enqueue("fast")
+        queue.on_enqueue("fast")
+        queue.on_enqueue("slow")
+        text = render_metrics(policy, queue)
+        assert "queue_length 3" in text
+        assert 'queue_occupancy{qtype="fast"} 2' in text
+
+    def test_bouncer_estimates_exposed(self):
+        policy, clock, queue = make_bouncer()
+        for _ in range(20):
+            policy.on_completed(Query(qtype="slow"), 0.0, 0.030)
+        clock.advance(1.0)
+        policy.decide(Query(qtype="slow"))
+        text = render_metrics(policy, queue)
+        assert 'processing_seconds{qtype="slow",quantile="50"}' in text
+        assert "estimated_wait_seconds" in text
+
+    def test_wrapper_override_counter(self):
+        clock = ManualClock()
+        wrapper = AcceptanceAllowancePolicy(AlwaysAcceptPolicy(), clock,
+                                            allowance=0.05, seed=1)
+        wrapper.decide(Query(qtype="t"))  # first-of-type free pass
+        text = render_metrics(wrapper)
+        assert "overrides_total 1" in text
+
+    def test_plain_policy_without_queue(self):
+        policy = AlwaysAcceptPolicy()
+        policy.decide(Query(qtype="x"))
+        text = render_metrics(policy)
+        assert 'accepted_total{qtype="x"} 1' in text
+        assert "queue_length" not in text
+
+    def test_output_is_stable(self):
+        policy, clock, queue = make_bouncer()
+        policy.decide(Query(qtype="b"))
+        policy.decide(Query(qtype="a"))
+        assert render_metrics(policy, queue) == render_metrics(policy,
+                                                               queue)
+
+    def test_label_escaping(self):
+        policy = AlwaysAcceptPolicy()
+        policy.decide(Query(qtype='we"ird\\type'))
+        text = render_metrics(policy)
+        assert '\\"' in text and "\\\\" in text

@@ -1,0 +1,59 @@
+"""Unit tests for vertex partitioning."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.liquid.partition import HashPartitioner, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("member:123") == stable_hash("member:123")
+
+    def test_spreads_values(self):
+        hashes = {stable_hash(f"v{i}") for i in range(1000)}
+        assert len(hashes) > 990
+
+
+class TestHashPartitioner:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            HashPartitioner(0)
+
+    def test_shard_in_range(self):
+        part = HashPartitioner(4)
+        for i in range(200):
+            assert 0 <= part.shard_for(f"v{i}") < 4
+
+    def test_single_shard_gets_everything(self):
+        part = HashPartitioner(1)
+        assert all(part.shard_for(f"v{i}") == 0 for i in range(50))
+
+    def test_assignment_is_stable(self):
+        a = HashPartitioner(8)
+        b = HashPartitioner(8)
+        for i in range(100):
+            assert a.shard_for(f"v{i}") == b.shard_for(f"v{i}")
+
+    def test_balance_is_reasonable(self):
+        part = HashPartitioner(4)
+        counts = [0, 0, 0, 0]
+        n = 8000
+        for i in range(n):
+            counts[part.shard_for(f"vertex-{i}")] += 1
+        for count in counts:
+            assert count == pytest.approx(n / 4, rel=0.15)
+
+    def test_group_by_shard_partitions_exactly(self):
+        part = HashPartitioner(3)
+        vertices = [f"v{i}" for i in range(30)]
+        groups = part.group_by_shard(vertices)
+        assert len(groups) == 3
+        flattened = [v for group in groups for v in group]
+        assert sorted(flattened) == sorted(vertices)
+        for shard_idx, group in enumerate(groups):
+            for vertex in group:
+                assert part.shard_for(vertex) == shard_idx
+
+    def test_group_by_shard_empty_input(self):
+        assert HashPartitioner(2).group_by_shard([]) == [[], []]

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.policy (stats, queue view, trivial policies)."""
+
+import pytest
+
+from repro.core.policy import (AlwaysAcceptPolicy, AlwaysRejectPolicy,
+                               PolicyStats, QueueView)
+from repro.core.types import AdmissionResult, Query, RejectReason
+
+
+class TestPolicyStats:
+    def test_record_accept_and_reject(self):
+        stats = PolicyStats()
+        stats.record("a", AdmissionResult.accept())
+        stats.record("a", AdmissionResult.reject(RejectReason.QUEUE_FULL))
+        counters = stats.for_type("a")
+        assert counters.accepted == 1
+        assert counters.rejected == 1
+        assert counters.received == 2
+        assert counters.rejection_ratio == pytest.approx(0.5)
+        assert counters.rejected_by_reason[RejectReason.QUEUE_FULL] == 1
+
+    def test_unknown_type_counters_are_zero(self):
+        counters = PolicyStats().for_type("missing")
+        assert counters.received == 0
+        assert counters.rejection_ratio == 0.0
+
+    def test_totals_aggregate_types_and_reasons(self):
+        stats = PolicyStats()
+        stats.record("a", AdmissionResult.accept())
+        stats.record("b", AdmissionResult.reject(RejectReason.CAPACITY))
+        stats.record("b", AdmissionResult.reject(RejectReason.CAPACITY))
+        totals = stats.totals()
+        assert totals.accepted == 1
+        assert totals.rejected == 2
+        assert totals.rejected_by_reason[RejectReason.CAPACITY] == 2
+
+    def test_types_returns_snapshot_copy(self):
+        stats = PolicyStats()
+        stats.record("a", AdmissionResult.accept())
+        snapshot = stats.types()
+        snapshot["a"].accepted = 999
+        assert stats.for_type("a").accepted == 1
+
+    def test_reset(self):
+        stats = PolicyStats()
+        stats.record("a", AdmissionResult.accept())
+        stats.reset()
+        assert stats.totals().received == 0
+
+
+class TestQueueView:
+    def test_enqueue_dequeue_counts(self):
+        view = QueueView()
+        view.on_enqueue("a")
+        view.on_enqueue("a")
+        view.on_enqueue("b")
+        assert view.length() == 3
+        assert view.count_for("a") == 2
+        assert view.count_for("b") == 1
+        view.on_dequeue("a")
+        assert view.count_for("a") == 1
+        assert view.length() == 2
+
+    def test_count_drops_key_at_zero(self):
+        view = QueueView()
+        view.on_enqueue("a")
+        view.on_dequeue("a")
+        assert view.count_for("a") == 0
+        assert view.occupancy() == {}
+
+    def test_occupancy_is_a_copy(self):
+        view = QueueView()
+        view.on_enqueue("a")
+        occ = view.occupancy()
+        occ["a"] = 100
+        assert view.count_for("a") == 1
+
+    def test_unknown_type_count_is_zero(self):
+        assert QueueView().count_for("zzz") == 0
+
+
+class TestTrivialPolicies:
+    def test_always_accept_records_stats(self):
+        policy = AlwaysAcceptPolicy()
+        result = policy.decide(Query(qtype="x"))
+        assert result.accepted
+        assert policy.stats.for_type("x").accepted == 1
+
+    def test_always_reject(self):
+        policy = AlwaysRejectPolicy()
+        result = policy.decide(Query(qtype="x"))
+        assert not result.accepted
+        assert result.reason is RejectReason.ADMINISTRATIVE
+        assert policy.stats.for_type("x").rejected == 1
+
+    def test_reset_stats_clears_tallies(self):
+        policy = AlwaysAcceptPolicy()
+        policy.decide(Query(qtype="x"))
+        policy.reset_stats()
+        assert policy.stats.totals().received == 0
+
+    def test_hooks_are_noops_by_default(self):
+        policy = AlwaysAcceptPolicy()
+        query = Query(qtype="x")
+        policy.on_enqueued(query)
+        policy.on_dequeued(query, 0.1)
+        policy.on_completed(query, 0.1, 0.2)  # must not raise

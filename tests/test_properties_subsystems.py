@@ -1,0 +1,119 @@
+"""Property-based tests for the substrate subsystems (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.liquid import EdgeUpdate, LiquidService, UpdateLog, UpdatePipeline
+from repro.liquid.storage import EdgeStore
+from repro.liquid.updates import ShardConsumer
+from repro.runtime.queryset import QuerySet, QuerySetLibrary
+
+vertices = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+labels = st.sampled_from(["knows", "follows"])
+
+edge_ops = st.lists(
+    st.tuples(st.booleans(), vertices, labels, vertices), max_size=120)
+
+
+class TestEdgeStoreProperties:
+    @given(edge_ops)
+    def test_store_matches_reference_set(self, ops):
+        """The tombstoning store behaves like a plain set of triples."""
+        store = EdgeStore()
+        reference = set()
+        for is_add, src, label, dst in ops:
+            if is_add:
+                store.add_edge(src, label, dst)
+                reference.add((src, label, dst))
+            else:
+                store.remove_edge(src, label, dst)
+                reference.discard((src, label, dst))
+        assert set(store.edges()) == reference
+        assert store.edge_count == len(reference)
+        for src, label, dst in reference:
+            assert dst in store.out_neighbors(src, label)
+            assert src in store.in_neighbors(dst, label)
+
+    @given(edge_ops)
+    def test_compaction_preserves_semantics(self, ops):
+        store = EdgeStore()
+        for is_add, src, label, dst in ops:
+            if is_add:
+                store.add_edge(src, label, dst)
+            else:
+                store.remove_edge(src, label, dst)
+        before = set(store.edges())
+        store.compact()
+        assert set(store.edges()) == before
+        assert store.tombstone_count == 0
+
+
+class TestUpdateLogProperties:
+    @given(st.lists(st.tuples(st.booleans(), vertices, labels, vertices),
+                    max_size=100),
+           st.integers(min_value=1, max_value=6))
+    def test_feed_equals_direct_application(self, ops, shards):
+        """Publishing through the partitioned feed converges to the same
+        state as applying the mutations directly, in order, per source."""
+        service_fed = LiquidService(num_shards=shards)
+        service_direct = LiquidService(num_shards=shards)
+        pipeline = UpdatePipeline(service_fed)
+        for is_add, src, label, dst in ops:
+            if is_add:
+                pipeline.publish(EdgeUpdate.add(src, label, dst))
+                service_direct.add_edge(src, label, dst)
+            else:
+                pipeline.publish(EdgeUpdate.remove(src, label, dst))
+                service_direct.remove_edge(src, label, dst)
+        pipeline.drain()
+        fed = {edge for engine in service_fed.shards
+               for edge in engine.store.edges()}
+        direct = {edge for engine in service_direct.shards
+                  for edge in engine.store.edges()}
+        assert fed == direct
+
+    @given(st.lists(st.tuples(vertices, labels, vertices), min_size=1,
+                    max_size=60),
+           st.integers(min_value=0, max_value=59))
+    def test_replay_from_any_offset_converges(self, adds, cut):
+        """At-least-once redelivery: consuming, rewinding to any earlier
+        offset, and re-consuming yields the same store state."""
+        log = UpdateLog(1)
+        store = EdgeStore()
+        consumer = ShardConsumer(log, 0, store)
+        log.append_all([EdgeUpdate.add(*edge) for edge in adds])
+        consumer.poll()
+        state = set(store.edges())
+        consumer.rewind(min(cut, consumer.offset))
+        consumer.poll()
+        assert set(store.edges()) == state
+
+
+class TestQuerySetProperties:
+    @settings(deadline=None)
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c", "d"]),
+                           st.floats(min_value=0.05, max_value=10.0),
+                           min_size=1, max_size=4),
+           st.integers(min_value=0, max_value=2 ** 31))
+    def test_sampling_frequencies_track_mix(self, raw_mix, seed):
+        sets = [QuerySet(name, [f"{name}-payload"]) for name in raw_mix]
+        library = QuerySetLibrary(sets, dict(raw_mix))
+        rng = random.Random(seed)
+        n = 800
+        counts = {name: 0 for name in raw_mix}
+        for _ in range(n):
+            counts[library.sample(rng).qtype] += 1
+        total = sum(raw_mix.values())
+        for name, share in raw_mix.items():
+            expected = share / total
+            assert abs(counts[name] / n - expected) < 0.12
+
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    def test_sample_always_returns_known_type(self, seed):
+        sets = [QuerySet("x", [1, 2]), QuerySet("y", [3])]
+        library = QuerySetLibrary(sets, {"x": 0.5, "y": 0.5})
+        rng = random.Random(seed)
+        for _ in range(50):
+            assert library.sample(rng).qtype in ("x", "y")

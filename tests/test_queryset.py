@@ -1,0 +1,135 @@
+"""Tests for file-backed query sets and mixes (the load generator's input
+files, paper §5.4)."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import AlwaysAcceptPolicy
+from repro.exceptions import ConfigurationError
+from repro.runtime import AdmissionServer, LoadGenerator
+from repro.runtime.queryset import QuerySet, QuerySetLibrary, load_mix
+
+
+@pytest.fixture
+def set_files(tmp_path):
+    fast = tmp_path / "fast.jsonl"
+    fast.write_text("\n".join(
+        json.dumps({"payload": {"op": "edge", "src": f"v{i}"}})
+        for i in range(10)) + "\n")
+    slow = tmp_path / "slow.jsonl"
+    slow.write_text("\n".join(
+        json.dumps({"payload": {"op": "distance", "src": f"v{i}"}})
+        for i in range(5)) + "\n\n")  # trailing blank line is fine
+    return {"fast": str(fast), "slow": str(slow)}
+
+
+@pytest.fixture
+def mix_file(tmp_path):
+    path = tmp_path / "mix.json"
+    path.write_text(json.dumps({"fast": 80, "slow": 20}))
+    return str(path)
+
+
+class TestQuerySet:
+    def test_load_jsonl(self, set_files):
+        qs = QuerySet.load("fast", set_files["fast"])
+        assert len(qs) == 10
+        query = qs.sample(random.Random(1))
+        assert query.qtype == "fast"
+        assert query.payload["op"] == "edge"
+
+    def test_records_without_payload_field_kept_whole(self, tmp_path):
+        path = tmp_path / "raw.jsonl"
+        path.write_text('{"src": "a"}\n"bare-string"\n')
+        qs = QuerySet.load("t", str(path))
+        assert len(qs) == 2
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            QuerySet.load("t", str(path))
+
+    def test_empty_set_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(ConfigurationError):
+            QuerySet.load("t", str(path))
+
+    def test_requires_type(self):
+        with pytest.raises(ConfigurationError):
+            QuerySet("", [1])
+
+
+class TestLoadMix:
+    def test_normalizes(self, mix_file):
+        mix = load_mix(mix_file)
+        assert mix["fast"] == pytest.approx(0.8)
+        assert mix["slow"] == pytest.approx(0.2)
+
+    def test_zero_entries_dropped(self, tmp_path):
+        path = tmp_path / "mix.json"
+        path.write_text(json.dumps({"a": 1, "b": 0}))
+        assert "b" not in load_mix(str(path))
+
+    def test_rejects_negative(self, tmp_path):
+        path = tmp_path / "mix.json"
+        path.write_text(json.dumps({"a": -1}))
+        with pytest.raises(ConfigurationError):
+            load_mix(str(path))
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "mix.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError):
+            load_mix(str(path))
+
+    def test_rejects_all_zero(self, tmp_path):
+        path = tmp_path / "mix.json"
+        path.write_text(json.dumps({"a": 0}))
+        with pytest.raises(ConfigurationError):
+            load_mix(str(path))
+
+
+class TestQuerySetLibrary:
+    def test_load_from_files(self, set_files, mix_file):
+        library = QuerySetLibrary.load(set_files, mix_file)
+        assert set(library.qtypes) == {"fast", "slow"}
+        assert library.mix["fast"] == pytest.approx(0.8)
+
+    def test_sampling_respects_mix(self, set_files, mix_file):
+        library = QuerySetLibrary.load(set_files, mix_file)
+        rng = random.Random(5)
+        counts = {"fast": 0, "slow": 0}
+        n = 5000
+        for _ in range(n):
+            counts[library.sample(rng).qtype] += 1
+        assert counts["fast"] / n == pytest.approx(0.8, abs=0.03)
+
+    def test_default_mix_is_uniform(self, set_files):
+        library = QuerySetLibrary.load(set_files)
+        assert library.mix["fast"] == pytest.approx(0.5)
+
+    def test_mix_with_unknown_type_rejected(self, set_files):
+        sets = [QuerySet.load(qtype, path)
+                for qtype, path in set_files.items()]
+        with pytest.raises(ConfigurationError):
+            QuerySetLibrary(sets, {"nope": 1.0})
+
+    def test_duplicate_sets_rejected(self):
+        qs = QuerySet("t", [1])
+        with pytest.raises(ConfigurationError):
+            QuerySetLibrary([qs, qs])
+
+    def test_drives_load_generator(self, set_files, mix_file):
+        library = QuerySetLibrary.load(set_files, mix_file)
+        server = AdmissionServer(lambda ctx: AlwaysAcceptPolicy(),
+                                 lambda q: q.payload["op"], workers=2)
+        with server:
+            generator = LoadGenerator(server, library.query_factory(),
+                                      rate_qps=3000, seed=9)
+            result = generator.run(200)
+            assert result.accepted == 200
+            assert set(result.response_times) <= {"fast", "slow"}

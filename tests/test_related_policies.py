@@ -1,0 +1,197 @@
+"""Tests for the related-work policy re-creations (Gatekeeper, Q-Cop)."""
+
+import pytest
+
+from repro.core import (GatekeeperConfig, GatekeeperPolicy, HostContext,
+                        ManualClock, QCopConfig, QCopPolicy, QueueView)
+from repro.core.types import Query, RejectReason
+from repro.exceptions import ConfigurationError
+from repro.bench import simulation_mix
+from repro.sim import run_simulation
+
+
+def make_ctx(parallelism=4):
+    clock = ManualClock()
+    queue = QueueView()
+    return (HostContext(clock=clock, queue=queue, parallelism=parallelism),
+            clock, queue)
+
+
+def feed_completion(policy, qtype, pt, wait=0.0):
+    query = Query(qtype=qtype)
+    policy.on_enqueued(query)
+    policy.on_dequeued(query, wait)
+    policy.on_completed(query, wait, pt)
+
+
+class TestGatekeeper:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GatekeeperConfig(max_outstanding_time=0)
+
+    def test_accepts_when_empty(self):
+        ctx, _, _ = make_ctx()
+        policy = GatekeeperPolicy(ctx)
+        assert policy.decide(Query(qtype="x")).accepted
+
+    def test_in_system_ledger(self):
+        ctx, _, _ = make_ctx()
+        policy = GatekeeperPolicy(ctx)
+        q1, q2 = Query(qtype="a"), Query(qtype="a")
+        policy.on_enqueued(q1)
+        policy.on_enqueued(q2)
+        feed_completion(policy, "a", 0.010)  # trains demand estimate
+        assert policy.estimated_outstanding() == pytest.approx(
+            2 * 0.010, rel=0.01)
+        policy.on_completed(q1, 0.0, 0.010)
+        policy.on_completed(q2, 0.0, 0.010)
+        assert policy.estimated_outstanding() == 0.0
+
+    def test_rejects_beyond_capacity(self):
+        ctx, _, _ = make_ctx(parallelism=1)
+        policy = GatekeeperPolicy(
+            ctx, GatekeeperConfig(max_outstanding_time=0.05))
+        for _ in range(5):
+            feed_completion(policy, "heavy", 0.020)
+        # Two in-system 20ms queries: 40ms; adding a third (60ms) > 50ms.
+        for _ in range(2):
+            query = Query(qtype="heavy")
+            assert policy.decide(query).accepted
+            policy.on_enqueued(query)
+        result = policy.decide(Query(qtype="heavy"))
+        assert not result.accepted
+        assert result.reason is RejectReason.CAPACITY
+
+    def test_type_aware_demands(self):
+        # Cheap queries keep fitting after heavy ones stop.
+        ctx, _, _ = make_ctx(parallelism=1)
+        policy = GatekeeperPolicy(
+            ctx, GatekeeperConfig(max_outstanding_time=0.05))
+        for _ in range(5):
+            feed_completion(policy, "heavy", 0.030)
+            feed_completion(policy, "cheap", 0.001)
+        query = Query(qtype="heavy")
+        policy.on_enqueued(query)  # 30ms in system
+        assert not policy.decide(Query(qtype="heavy")).accepted  # 60ms
+        assert policy.decide(Query(qtype="cheap")).accepted      # 31ms
+
+    def test_unseen_type_uses_global_mean(self):
+        ctx, _, _ = make_ctx(parallelism=1)
+        policy = GatekeeperPolicy(
+            ctx, GatekeeperConfig(max_outstanding_time=0.01))
+        for _ in range(5):
+            feed_completion(policy, "known", 0.020)
+        # Unseen type inherits the 20ms global mean -> over the 10ms cap.
+        assert not policy.decide(Query(qtype="new")).accepted
+
+    def test_protects_under_sim_overload(self):
+        mix = simulation_mix()
+        report = run_simulation(
+            mix,
+            lambda ctx: GatekeeperPolicy(
+                ctx, GatekeeperConfig(max_outstanding_time=0.05)),
+            rate_qps=1.4 * mix.full_load_qps(50), num_queries=15_000,
+            parallelism=50, seed=61)
+        assert report.rejection_pct() > 5.0
+        # Capacity protection: waits bounded by the outstanding-time cap.
+        assert report.overall.wait[50.0] <= 0.06
+
+
+class TestQCopModel:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            QCopConfig(timeout=0)
+        with pytest.raises(ConfigurationError):
+            QCopConfig(learning_rate=0)
+        with pytest.raises(ConfigurationError):
+            QCopConfig(learning_rate=1.5)
+
+    def test_accepts_untrained(self):
+        ctx, _, _ = make_ctx()
+        policy = QCopPolicy(ctx)
+        assert policy.decide(Query(qtype="x")).accepted
+
+    def test_online_model_learns_constant(self):
+        ctx, _, _ = make_ctx()
+        policy = QCopPolicy(ctx, QCopConfig(learning_rate=0.5))
+        for _ in range(200):
+            feed_completion(policy, "x", 0.020)
+        assert policy.predict_processing("x") == pytest.approx(0.020,
+                                                               rel=0.1)
+
+    def test_model_learns_mix_dependence(self):
+        # Processing time grows with the number of "noise" queries in the
+        # system; the model must pick the slope up.
+        ctx, _, _ = make_ctx()
+        policy = QCopPolicy(ctx, QCopConfig(learning_rate=0.5))
+        noise_queries = []
+        for round_idx in range(300):
+            noise_count = round_idx % 5
+            for _ in range(noise_count):
+                noise = Query(qtype="noise")
+                policy.on_enqueued(noise)
+                noise_queries.append(noise)
+            target = Query(qtype="x")
+            policy.on_enqueued(target)
+            policy.on_dequeued(target, 0.0)
+            policy.on_completed(target, 0.0, 0.010 + 0.005 * noise_count)
+            while noise_queries:
+                policy.on_completed(noise_queries.pop(), 0.0, 0.001)
+        # Prediction with no noise in system ~ 10ms.
+        base = policy.predict_processing("x")
+        # Prediction with 4 noise queries in system ~ 30ms.
+        for _ in range(4):
+            noise = Query(qtype="noise")
+            policy.on_enqueued(noise)
+            noise_queries.append(noise)
+        loaded = policy.predict_processing("x")
+        assert loaded > base + 0.005
+
+    def test_rejects_predicted_timeouts(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        policy = QCopPolicy(ctx, QCopConfig(timeout=0.015,
+                                            learning_rate=0.5))
+        for _ in range(50):
+            feed_completion(policy, "slow", 0.020)
+        result = policy.decide(Query(qtype="slow"))
+        assert not result.accepted
+        assert result.reason is RejectReason.EXPECTED_TIMEOUT
+        assert result.estimates[50] > 0.015
+
+    def test_wait_estimate_contributes(self):
+        ctx, clock, queue = make_ctx(parallelism=1)
+        policy = QCopPolicy(ctx, QCopConfig(timeout=0.015))
+        for _ in range(20):
+            feed_completion(policy, "fast", 0.005)
+        assert policy.decide(Query(qtype="fast")).accepted
+        for _ in range(4):
+            queue.on_enqueue("fast")  # ewt = 4 * 5ms = 20ms > timeout
+        assert not policy.decide(Query(qtype="fast")).accepted
+
+    def test_reduces_timeouts_under_sim_overload(self):
+        # Q-Cop's objective: fewer client timeouts than no admission
+        # control at all.
+        from repro.core import AlwaysAcceptPolicy
+        from repro.sim import SimulatedServer, Simulator
+        from repro.sim.workload import ArrivalSchedule
+
+        mix = simulation_mix()
+        rate = 1.4 * mix.full_load_qps(50)
+        timeout = 0.050
+
+        def run(policy_factory):
+            sim = Simulator()
+            server = SimulatedServer(sim, 50, policy_factory)
+            arrivals = iter(ArrivalSchedule(mix, rate, seed=67))
+            for _ in range(15_000):
+                query = next(arrivals)
+                query.deadline = query.arrival_time + timeout
+                sim.schedule_at(query.arrival_time,
+                                lambda q=query: server.offer(q))
+            sim.run()
+            return server.metrics
+
+        unprotected = run(lambda ctx: AlwaysAcceptPolicy())
+        qcop = run(lambda ctx: QCopPolicy(ctx, QCopConfig(timeout=timeout)))
+        assert qcop.expired < unprotected.expired
+        assert qcop.wasted_work < unprotected.wasted_work

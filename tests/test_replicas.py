@@ -1,0 +1,127 @@
+"""Tests for the replica client with rejection-driven failover (§5.1/§2)."""
+
+import time
+
+import pytest
+
+from repro.core import AlwaysAcceptPolicy, AlwaysRejectPolicy
+from repro.core.types import Query
+from repro.exceptions import ConfigurationError
+from repro.runtime import (AdmissionServer, AllReplicasRejectedError,
+                           ReplicaClient)
+
+
+def make_replica(policy_cls=AlwaysAcceptPolicy, tag="r"):
+    return AdmissionServer(lambda ctx: policy_cls(),
+                           lambda q: (tag, q.qtype), workers=1)
+
+
+class TestReplicaClient:
+    def test_requires_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaClient([])
+
+    def test_rejects_bad_max_attempts(self):
+        with pytest.raises(ConfigurationError):
+            ReplicaClient([make_replica()], max_attempts=0)
+
+    def test_healthy_replica_answers(self):
+        replica = make_replica(tag="only")
+        with replica:
+            client = ReplicaClient([replica], jitter_seed=1)
+            assert client.execute(Query(qtype="x")) == ("only", "x")
+            assert client.stats.submitted == 1
+            assert client.stats.failovers == 0
+
+    def test_round_robin_spreads_load(self):
+        replicas = [make_replica(tag=f"r{i}") for i in range(3)]
+        for replica in replicas:
+            replica.start()
+        try:
+            client = ReplicaClient(replicas, jitter_seed=0)
+            for _ in range(9):
+                client.execute(Query(qtype="x"))
+            assert client.stats.per_replica == [3, 3, 3]
+        finally:
+            for replica in replicas:
+                replica.stop()
+
+    def test_failover_on_rejection(self):
+        rejecting = make_replica(AlwaysRejectPolicy, tag="bad")
+        healthy = make_replica(tag="good")
+        rejecting.start()
+        healthy.start()
+        try:
+            client = ReplicaClient([rejecting, healthy], jitter_seed=0)
+            results = {client.execute(Query(qtype="x"))[0]
+                       for _ in range(6)}
+            assert results == {"good"}
+            assert client.stats.failovers >= 3  # half start at 'bad'
+            assert client.stats.exhausted == 0
+        finally:
+            rejecting.stop()
+            healthy.stop()
+
+    def test_all_rejecting_raises(self):
+        replicas = [make_replica(AlwaysRejectPolicy, tag=f"r{i}")
+                    for i in range(2)]
+        for replica in replicas:
+            replica.start()
+        try:
+            client = ReplicaClient(replicas, jitter_seed=0)
+            with pytest.raises(AllReplicasRejectedError) as excinfo:
+                client.submit(Query(qtype="x"))
+            assert excinfo.value.attempts == 2
+            assert client.stats.exhausted == 1
+        finally:
+            for replica in replicas:
+                replica.stop()
+
+    def test_stopped_replica_treated_as_unavailable(self):
+        stopped = make_replica(tag="down")  # never started
+        healthy = make_replica(tag="up")
+        healthy.start()
+        try:
+            client = ReplicaClient([stopped, healthy], jitter_seed=0)
+            for _ in range(4):
+                assert client.execute(Query(qtype="x"))[0] == "up"
+        finally:
+            healthy.stop()
+
+    def test_max_attempts_limits_failover(self):
+        replicas = [make_replica(AlwaysRejectPolicy),
+                    make_replica(AlwaysRejectPolicy),
+                    make_replica(tag="far")]
+        for replica in replicas:
+            replica.start()
+        try:
+            # Starting from replica 0 with only 2 attempts never reaches
+            # the healthy third replica.
+            import random as random_module
+            seed = next(s for s in range(100)
+                        if random_module.Random(s).randrange(3) == 0)
+            client = ReplicaClient(replicas, max_attempts=2,
+                                   jitter_seed=seed)
+            with pytest.raises(AllReplicasRejectedError):
+                client.submit(Query(qtype="x"))
+        finally:
+            for replica in replicas:
+                replica.stop()
+
+    def test_failover_is_fast_because_rejection_is_early(self):
+        # The §2 argument: a rejection returns immediately, so failing
+        # over costs microseconds, not a deadline's worth of waiting.
+        rejecting = make_replica(AlwaysRejectPolicy)
+        healthy = make_replica(tag="good")
+        rejecting.start()
+        healthy.start()
+        try:
+            client = ReplicaClient([rejecting, healthy], jitter_seed=0)
+            start = time.monotonic()
+            for _ in range(20):
+                client.execute(Query(qtype="x"))
+            elapsed = time.monotonic() - start
+            assert elapsed < 2.0
+        finally:
+            rejecting.stop()
+            healthy.stop()

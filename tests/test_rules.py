@@ -1,0 +1,183 @@
+"""Tests for the datalog-like named rule layer (paper §3's rule names)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.liquid import LiquidService, PathQuery, RuleEngine, parse_rule
+from repro.liquid.query import (CountQuery, DistanceQuery, EdgeQuery)
+
+
+@pytest.fixture
+def service():
+    svc = LiquidService(num_shards=3)
+    # a -> b -> c -> d, plus follows edges b -> a, c -> a.
+    for src, label, dst in (("a", "knows", "b"), ("b", "knows", "c"),
+                            ("c", "knows", "d"), ("b", "follows", "a"),
+                            ("c", "follows", "a")):
+        svc.add_edge(src, label, dst)
+    return svc
+
+
+@pytest.fixture
+def engine(service):
+    eng = RuleEngine(service)
+    eng.register_all([
+        "GetFriends(src) :- edges(knows)",
+        "GetFollowers(src) :- edges(follows.in)",
+        "FriendCount(src) :- count(knows)",
+        "FriendsOfFriends(src) :- path(knows/knows)",
+        "GraphDistance(src, dst) :- distance(knows, 6)",
+    ])
+    return eng
+
+
+class TestParseRule:
+    def test_edges_rule(self):
+        rule = parse_rule("GetFriends(src) :- edges(knows)")
+        assert rule.name == "GetFriends"
+        assert rule.params == ("src",)
+        assert rule.kind == "edges"
+        query = rule.instantiate("a")
+        assert isinstance(query, EdgeQuery)
+        assert query.direction == "out"
+
+    def test_edges_in_direction(self):
+        rule = parse_rule("GetFollowers(x) :- edges(follows.in)")
+        query = rule.instantiate("a")
+        assert isinstance(query, EdgeQuery)
+        assert query.direction == "in"
+
+    def test_count_rule(self):
+        rule = parse_rule("FriendCount(src) :- count(knows)")
+        assert isinstance(rule.instantiate("a"), CountQuery)
+
+    def test_path_rule(self):
+        rule = parse_rule("FoF(src) :- path(knows/knows)")
+        query = rule.instantiate("a")
+        assert isinstance(query, PathQuery)
+        assert len(query.steps) == 2
+
+    def test_distance_rule(self):
+        rule = parse_rule("Dist(a, b) :- distance(knows, 4)")
+        query = rule.instantiate("a", "d")
+        assert isinstance(query, DistanceQuery)
+        assert query.max_hops == 4
+
+    @pytest.mark.parametrize("bad", [
+        "no colon dash",
+        "Name() :- edges(knows)",             # edges needs 1 param
+        "Name(a, b) :- edges(knows)",         # too many params
+        "Name(a) :- edges(knows, follows)",   # edges takes one label
+        "Name(a) :- distance(knows)",         # distance needs max_hops
+        "Name(a, b) :- distance(knows, x)",   # non-integer hops
+        "Name(a, b) :- distance(knows, 0)",   # hops < 1
+        "Name(a) :- teleport(knows)",         # unknown kind
+        "Name(a) :- edges(kn ows)",           # bad label
+        "Name(a) :- path()",                  # empty path
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_rule(bad)
+
+    def test_wrong_arity_at_instantiation(self):
+        rule = parse_rule("GetFriends(src) :- edges(knows)")
+        with pytest.raises(ConfigurationError):
+            rule.instantiate("a", "b")
+
+
+class TestRuleEngine:
+    def test_invoke_edges(self, engine):
+        assert engine.invoke("GetFriends", "a").value == ["b"]
+        assert engine.invoke("GetFriends", "b").value == ["c"]
+
+    def test_invoke_incoming(self, engine):
+        assert engine.invoke("GetFollowers", "a").value == ["b", "c"]
+
+    def test_invoke_count(self, engine):
+        assert engine.invoke("FriendCount", "b").value == 1
+
+    def test_invoke_path(self, engine):
+        # knows/knows from a: a->b->c.
+        assert engine.invoke("FriendsOfFriends", "a").value == ["c"]
+
+    def test_invoke_distance(self, engine):
+        assert engine.invoke("GraphDistance", "a", "d").value == 3
+        assert engine.invoke("GraphDistance", "d", "a").value == -1
+
+    def test_duplicate_registration_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.register("GetFriends(src) :- edges(knows)")
+
+    def test_unknown_rule(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.invoke("Nope", "a")
+
+    def test_rule_names_sorted(self, engine):
+        names = engine.rule_names()
+        assert names == tuple(sorted(names))
+        assert "GetFriends" in names
+
+    def test_request_builds_typed_query(self, engine, service):
+        query = engine.request("GetFriends", "a")
+        assert query.qtype == "GetFriends"
+        result = service.execute(query.payload)
+        assert result.value == ["b"]
+
+    def test_rules_drive_admission_controlled_server(self, engine,
+                                                     service):
+        # End to end: rule names are the SLO-bearing query types.
+        from repro.core import (BouncerConfig, BouncerPolicy, LatencySLO,
+                                SLORegistry)
+        from repro.runtime import AdmissionServer
+
+        slos = SLORegistry.uniform(LatencySLO.from_ms(p50=50, p90=200),
+                                   engine.rule_names())
+
+        def factory(ctx):
+            return BouncerPolicy(ctx, BouncerConfig(slos=slos))
+
+        server = AdmissionServer(factory,
+                                 lambda q: service.execute(q.payload),
+                                 workers=2)
+        with server:
+            future = server.submit(engine.request("GraphDistance", "a",
+                                                  "d"))
+            assert future.result(timeout=5.0).value == 3
+            assert server.policy.stats.for_type(
+                "GraphDistance").accepted == 1
+
+
+class TestPathQuery:
+    def test_requires_steps(self):
+        with pytest.raises(ConfigurationError):
+            PathQuery("a", [])
+
+    def test_three_hop_path(self, service):
+        rule = parse_rule("ThreeHop(src) :- path(knows/knows/knows)")
+        result = service.execute(rule.instantiate("a"))
+        assert result.value == ["d"]
+        assert result.rounds == 3
+
+    def test_mixed_direction_path(self, service):
+        # who follows the people I know: knows then follows.in.
+        rule = parse_rule("FollowersOfFriends(src) :- "
+                          "path(knows/follows.in)")
+        result = service.execute(rule.instantiate("a"))
+        # a knows b; b is followed by nobody (b follows a, not reverse).
+        assert result.value == []
+
+    def test_limit_bounds_frontier(self, service):
+        # limit=1 truncates each intermediate frontier to one vertex.
+        steps = list(parse_rule("R(x) :- path(knows/knows)").labels)
+        service.add_edge("a", "knows", "z")
+        service.add_edge("z", "knows", "zz")
+        query = PathQuery("a", steps, limit=1)
+        result = service.execute(query)
+        # Frontier after hop 1 is truncated to the first vertex (sorted),
+        # so only that vertex's neighbors are reachable.
+        assert len(result.value) <= 1
+
+    def test_dead_end_stops_early(self, service):
+        rule = parse_rule("Deep(src) :- path(knows/knows/knows/knows)")
+        result = service.execute(rule.instantiate("a"))
+        assert result.value == []

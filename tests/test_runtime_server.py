@@ -1,0 +1,220 @@
+"""Tests for the real threaded AdmissionServer."""
+
+import time
+
+import pytest
+
+from repro.core import (AlwaysAcceptPolicy, AlwaysRejectPolicy,
+                        BouncerConfig, BouncerPolicy, LatencySLO,
+                        SLORegistry)
+from repro.core.types import Query
+from repro.exceptions import (ConfigurationError, QueryRejectedError,
+                              ShuttingDownError)
+from repro.runtime import AdmissionServer
+
+
+def echo_handler(query: Query):
+    return ("done", query.qtype)
+
+
+def make_server(policy_cls=AlwaysAcceptPolicy, handler=echo_handler,
+                workers=2):
+    return AdmissionServer(lambda ctx: policy_cls(), handler,
+                           workers=workers)
+
+
+class TestLifecycle:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            make_server(workers=0)
+
+    def test_submit_before_start_raises(self):
+        server = make_server()
+        with pytest.raises(ShuttingDownError):
+            server.submit(Query(qtype="x"))
+
+    def test_context_manager_starts_and_stops(self):
+        with make_server() as server:
+            future = server.submit(Query(qtype="x"))
+            assert future.result(timeout=2.0) == ("done", "x")
+        with pytest.raises(ShuttingDownError):
+            server.submit(Query(qtype="x"))
+
+    def test_start_is_idempotent(self):
+        server = make_server()
+        server.start()
+        server.start()
+        try:
+            assert server.submit(Query(qtype="x")).result(timeout=2.0)
+        finally:
+            server.stop()
+
+    def test_stop_drains_queued_work(self):
+        slow_done = []
+
+        def slow_handler(query):
+            time.sleep(0.02)
+            slow_done.append(query.query_id)
+            return "ok"
+
+        server = AdmissionServer(lambda ctx: AlwaysAcceptPolicy(),
+                                 slow_handler, workers=1)
+        server.start()
+        futures = [server.submit(Query(qtype="x")) for _ in range(3)]
+        server.stop()
+        assert len(slow_done) == 3
+        assert all(f.done() for f in futures)
+
+
+class TestSubmission:
+    def test_rejection_raises_immediately(self):
+        with make_server(policy_cls=AlwaysRejectPolicy) as server:
+            with pytest.raises(QueryRejectedError) as excinfo:
+                server.submit(Query(qtype="x"))
+            assert not excinfo.value.result.accepted
+
+    def test_try_submit_returns_rejection(self):
+        with make_server(policy_cls=AlwaysRejectPolicy) as server:
+            result, future = server.try_submit(Query(qtype="x"))
+            assert not result.accepted
+            assert future is None
+
+    def test_try_submit_accepted(self):
+        with make_server() as server:
+            result, future = server.try_submit(Query(qtype="x"))
+            assert result.accepted
+            assert future.result(timeout=2.0) == ("done", "x")
+
+    def test_handler_exception_propagates_to_future(self):
+        def failing(query):
+            raise RuntimeError("kaboom")
+
+        server = AdmissionServer(lambda ctx: AlwaysAcceptPolicy(), failing,
+                                 workers=1)
+        with server:
+            future = server.submit(Query(qtype="x"))
+            with pytest.raises(RuntimeError, match="kaboom"):
+                future.result(timeout=2.0)
+
+    def test_timestamps_stamped(self):
+        with make_server() as server:
+            query = Query(qtype="x")
+            server.submit(query).result(timeout=2.0)
+            assert query.enqueued_at is not None
+            assert query.dequeued_at >= query.enqueued_at
+            assert query.completed_at >= query.dequeued_at
+            assert query.response_time >= 0.0
+
+    def test_many_concurrent_submissions(self):
+        with make_server(workers=4) as server:
+            futures = [server.submit(Query(qtype=f"t{i % 3}"))
+                       for i in range(200)]
+            results = [f.result(timeout=5.0) for f in futures]
+            assert len(results) == 200
+            assert server.policy.stats.totals().accepted == 200
+
+    def test_queue_view_returns_to_empty(self):
+        with make_server(workers=2) as server:
+            futures = [server.submit(Query(qtype="x")) for _ in range(20)]
+            for future in futures:
+                future.result(timeout=5.0)
+            deadline = time.monotonic() + 2.0
+            while (server.queue_view.length() and
+                   time.monotonic() < deadline):
+                time.sleep(0.001)
+            assert server.queue_view.length() == 0
+
+
+class TestWithBouncer:
+    def test_bouncer_learns_from_real_completions(self):
+        slos = SLORegistry.uniform(LatencySLO.from_ms(p50=100, p90=200),
+                                   ["x"])
+
+        def factory(ctx):
+            return BouncerPolicy(ctx, BouncerConfig(
+                slos=slos, min_samples=1, bootstrap_samples=5))
+
+        def busy_handler(query):
+            time.sleep(0.001)
+            return "ok"
+
+        server = AdmissionServer(factory, busy_handler, workers=2)
+        with server:
+            for _ in range(20):
+                server.submit(Query(qtype="x")).result(timeout=2.0)
+            snap = server.policy.processing_snapshot("x")
+            assert snap.count >= 5
+            assert snap.mean() >= 0.001
+
+    def test_bouncer_rejects_queries_over_slo(self):
+        # Queries take ~4ms against a 2ms p50 SLO: once the bootstrap
+        # publishes the histogram, Bouncer must start rejecting on the
+        # percentile estimate alone (the early rejection of paper Alg. 1).
+        slos = SLORegistry.uniform(LatencySLO.from_ms(p50=2, p90=5), ["x"])
+
+        def factory(ctx):
+            return BouncerPolicy(ctx, BouncerConfig(
+                slos=slos, min_samples=1, bootstrap_samples=3))
+
+        def slow_handler(query):
+            time.sleep(0.004)
+            return "ok"
+
+        server = AdmissionServer(factory, slow_handler, workers=1)
+        with server:
+            rejected = 0
+            for _ in range(20):
+                result, future = server.try_submit(Query(qtype="x"))
+                if future is not None:
+                    future.result(timeout=2.0)
+                else:
+                    rejected += 1
+            assert rejected > 0
+            assert server.policy.stats.for_type("x").rejected == rejected
+
+
+class TestFailureInjection:
+    def test_crashing_policy_fails_open(self):
+        class Broken(AlwaysAcceptPolicy):
+            def _decide(self, query):
+                raise RuntimeError("policy bug")
+
+        server = AdmissionServer(lambda ctx: Broken(), echo_handler,
+                                 workers=1)
+        with server:
+            future = server.submit(Query(qtype="x"))
+            assert future.result(timeout=2.0) == ("done", "x")
+            assert server.policy_errors == 1
+
+    def test_policy_errors_do_not_leak_to_later_queries(self):
+        calls = []
+
+        class FlakyOnce(AlwaysAcceptPolicy):
+            def _decide(self, query):
+                calls.append(query.query_id)
+                if len(calls) == 1:
+                    raise RuntimeError("transient")
+                return super()._decide(query)
+
+        server = AdmissionServer(lambda ctx: FlakyOnce(), echo_handler,
+                                 workers=1)
+        with server:
+            assert server.submit(Query(qtype="x")).result(timeout=2.0)
+            assert server.submit(Query(qtype="x")).result(timeout=2.0)
+            assert server.policy_errors == 1
+
+    def test_hook_exceptions_do_not_kill_workers_or_queries(self):
+        # Policy hooks are advisory: a buggy hook is counted and the
+        # query still completes on a surviving worker.
+        class BadHook(AlwaysAcceptPolicy):
+            def on_dequeued(self, query, wait):
+                raise ValueError("hook bug")
+
+        server = AdmissionServer(lambda ctx: BadHook(), echo_handler,
+                                 workers=1)
+        with server:
+            assert server.submit(Query(qtype="x")).result(
+                timeout=2.0) == ("done", "x")
+            assert server.submit(Query(qtype="x")).result(
+                timeout=2.0) == ("done", "x")
+            assert server.policy_errors == 2

@@ -1,0 +1,60 @@
+"""Statistical robustness: the headline claims hold across seeds.
+
+The paper averages 5 runs per cell; single-seed assertions can pass by
+luck.  These tests repeat the two headline claims over several independent
+seeds and assert on every run — if the reproduction's behaviour were
+noise, these would flake.
+"""
+
+import pytest
+
+from repro.bench import make_bouncer, simulation_mix
+from repro.sim import run_simulation
+
+# The paper's host size.  (At smaller parallelism and higher factors the
+# system is bistable between shedding 'slow' and shedding 'medium_slow' —
+# a real property of the policy, not noise — so the stability claims are
+# made in the paper's own regime.)
+PARALLELISM = 100
+NUM_QUERIES = 20_000
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    mix = simulation_mix()
+    rate = 1.35 * mix.full_load_qps(PARALLELISM)
+    return [run_simulation(mix, make_bouncer(), rate_qps=rate,
+                           num_queries=NUM_QUERIES,
+                           parallelism=PARALLELISM, seed=seed)
+            for seed in SEEDS]
+
+
+class TestAcrossSeeds:
+    def test_slo_holds_for_cheap_types_every_seed(self, reports):
+        for report in reports:
+            for qtype in ("fast", "medium_fast", "medium_slow"):
+                stats = report.stats_for(qtype)
+                if stats.completed:
+                    assert stats.response[50.0] <= 0.018 * 1.1, (
+                        report.seed, qtype)
+                    assert stats.response[90.0] <= 0.050 * 1.1, (
+                        report.seed, qtype)
+
+    def test_cheap_types_never_rejected_every_seed(self, reports):
+        for report in reports:
+            assert report.rejection_pct("fast") == 0.0, report.seed
+            assert report.rejection_pct("medium_fast") == 0.0, report.seed
+
+    def test_slow_type_absorbs_the_overload_every_seed(self, reports):
+        for report in reports:
+            assert report.rejection_pct("slow") > 60.0, report.seed
+
+    def test_rejection_rate_is_stable_across_seeds(self, reports):
+        rates = [report.rejection_pct() for report in reports]
+        spread = max(rates) - min(rates)
+        assert spread < 3.0, rates
+
+    def test_utilization_high_every_seed(self, reports):
+        for report in reports:
+            assert report.utilization > 0.95, report.seed

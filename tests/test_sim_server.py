@@ -1,0 +1,164 @@
+"""Unit tests for the simulated serving host (Figure 1 framework)."""
+
+import pytest
+
+from repro.core import AlwaysAcceptPolicy, AlwaysRejectPolicy
+from repro.core.types import Query
+from repro.exceptions import ConfigurationError
+from repro.sim.server import SimulatedServer
+from repro.sim.simulator import Simulator
+
+
+def make_server(parallelism=2, policy_cls=AlwaysAcceptPolicy,
+                on_decision=None):
+    sim = Simulator()
+    server = SimulatedServer(sim, parallelism,
+                             lambda ctx: policy_cls(),
+                             on_decision=on_decision)
+    return sim, server
+
+
+def offer(sim, server, qtype="x", service=0.010, at=None):
+    query = Query(qtype=qtype, payload=service)
+    if at is not None and at > sim.now:
+        sim.schedule_at(at, lambda: server.offer(query))
+    else:
+        server.offer(query)
+    return query
+
+
+class TestAdmissionFlow:
+    def test_rejects_bad_parallelism(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedServer(Simulator(), 0, lambda ctx: AlwaysAcceptPolicy())
+
+    def test_accepted_query_completes_with_timestamps(self):
+        sim, server = make_server()
+        query = offer(sim, server, service=0.010)
+        sim.run()
+        assert query.enqueued_at == 0.0
+        assert query.dequeued_at == 0.0  # idle process picks it up at once
+        assert query.completed_at == pytest.approx(0.010)
+        assert query.response_time == pytest.approx(0.010)
+
+    def test_rejected_query_never_enqueued(self):
+        sim, server = make_server(policy_cls=AlwaysRejectPolicy)
+        query = offer(sim, server)
+        sim.run()
+        assert query.enqueued_at is None
+        assert server.metrics.rejected == 1
+        assert server.metrics.completed == 0
+
+    def test_queueing_when_processes_busy(self):
+        sim, server = make_server(parallelism=1)
+        first = offer(sim, server, service=0.010)
+        second = offer(sim, server, service=0.010)
+        assert server.queue_length == 1
+        sim.run()
+        assert second.wait_time == pytest.approx(0.010)
+        assert second.response_time == pytest.approx(0.020)
+
+    def test_fifo_order(self):
+        sim, server = make_server(parallelism=1)
+        queries = [offer(sim, server, qtype=f"q{i}", service=0.001)
+                   for i in range(5)]
+        sim.run()
+        completions = [(q.completed_at, q.qtype) for q in queries]
+        assert completions == sorted(completions)
+
+    def test_parallelism_limits_concurrency(self):
+        sim, server = make_server(parallelism=2)
+        for _ in range(4):
+            offer(sim, server, service=0.010)
+        assert server.in_flight == 2
+        assert server.queue_length == 2
+        sim.run(until=0.0111)
+        # After the first pair completes at t=10ms, the next pair runs.
+        assert server.metrics.completed == 2
+
+    def test_queue_view_tracks_occupancy(self):
+        sim, server = make_server(parallelism=1)
+        offer(sim, server, qtype="a", service=0.010)
+        offer(sim, server, qtype="a", service=0.010)
+        offer(sim, server, qtype="b", service=0.010)
+        assert server.queue_view.occupancy() == {"a": 1, "b": 1}
+        sim.run()
+        assert server.queue_view.occupancy() == {}
+
+
+class TestMetrics:
+    def test_per_type_samples(self):
+        sim, server = make_server()
+        offer(sim, server, qtype="a", service=0.010)
+        offer(sim, server, qtype="b", service=0.030)
+        sim.run()
+        stats = server.metrics.build_type_stats()
+        assert stats["a"].completed == 1
+        assert stats["a"].processing_mean == pytest.approx(0.010)
+        assert stats["b"].processing_mean == pytest.approx(0.030)
+
+    def test_utilization(self):
+        sim, server = make_server(parallelism=2)
+        offer(sim, server, service=0.010)
+        sim.run()
+        # 10ms of busy time over 10ms elapsed on 2 processes = 50%.
+        assert server.metrics.utilization(sim.now, 2) == pytest.approx(0.5)
+
+    def test_reset_measurement_clears_but_keeps_learning(self):
+        sim, server = make_server()
+        offer(sim, server, service=0.010)
+        sim.run()
+        server.reset_measurement()
+        assert server.metrics.completed == 0
+        assert server.policy.stats.totals().received == 0
+
+    def test_overall_stats_pool_types(self):
+        sim, server = make_server()
+        offer(sim, server, qtype="a", service=0.010)
+        offer(sim, server, qtype="b", service=0.030)
+        sim.run()
+        overall = server.metrics.build_overall_stats()
+        assert overall.completed == 2
+        assert overall.processing_mean == pytest.approx(0.020)
+
+
+class TestDecisionHook:
+    def test_hook_sees_every_decision(self):
+        seen = []
+        sim, server = make_server(
+            on_decision=lambda now, q, r: seen.append((now, q.qtype,
+                                                       r.accepted)))
+        offer(sim, server, qtype="a")
+        sim.run()
+        assert seen == [(0.0, "a", True)]
+
+    def test_hook_sees_rejections(self):
+        seen = []
+        sim, server = make_server(
+            policy_cls=AlwaysRejectPolicy,
+            on_decision=lambda now, q, r: seen.append(r.accepted))
+        offer(sim, server)
+        assert seen == [False]
+
+
+class TestPolicyHooks:
+    def test_policy_receives_all_three_points(self):
+        events = []
+
+        class Recorder(AlwaysAcceptPolicy):
+            def on_enqueued(self, query):
+                events.append("enqueued")
+
+            def on_dequeued(self, query, wait):
+                events.append(("dequeued", wait))
+
+            def on_completed(self, query, wait, proc):
+                events.append(("completed", wait, proc))
+
+        sim = Simulator()
+        server = SimulatedServer(sim, 1, lambda ctx: Recorder())
+        server.offer(Query(qtype="x", payload=0.010))
+        sim.run()
+        assert events[0] == "enqueued"
+        assert events[1] == ("dequeued", 0.0)
+        assert events[2] == ("completed", 0.0, pytest.approx(0.010))

@@ -1,0 +1,135 @@
+"""Unit tests for repro.core.sliding_window."""
+
+import pytest
+
+from repro.core.clock import ManualClock
+from repro.core.sliding_window import SlidingWindowCounts, SlidingWindowStats
+from repro.exceptions import ConfigurationError
+
+
+class TestSlidingWindowCounts:
+    def test_rejects_bad_window(self):
+        clock = ManualClock()
+        with pytest.raises(ConfigurationError):
+            SlidingWindowCounts(clock, duration=0)
+        with pytest.raises(ConfigurationError):
+            SlidingWindowCounts(clock, duration=0.5, step=1.0)
+
+    def test_counts_accumulate(self):
+        window = SlidingWindowCounts(ManualClock(), duration=1.0, step=0.1)
+        window.record("slow", accepted=True)
+        window.record("slow", accepted=False)
+        window.record("slow", accepted=False)
+        assert window.accepted_count("slow") == 1
+        assert window.received_count("slow") == 3
+
+    def test_unknown_key_is_zero(self):
+        window = SlidingWindowCounts(ManualClock(), duration=1.0, step=0.1)
+        assert window.accepted_count("nope") == 0
+        assert window.received_count("nope") == 0
+        assert window.acceptance_ratio("nope") == 0.0
+
+    def test_counts_expire_after_duration(self):
+        clock = ManualClock()
+        window = SlidingWindowCounts(clock, duration=1.0, step=0.1)
+        window.record("a", accepted=True)
+        clock.advance(0.5)
+        assert window.received_count("a") == 1
+        clock.advance(1.0)
+        assert window.received_count("a") == 0
+        assert "a" not in window.observed_keys()
+
+    def test_partial_expiry_keeps_recent_buckets(self):
+        clock = ManualClock()
+        window = SlidingWindowCounts(clock, duration=1.0, step=0.25)
+        window.record("a", accepted=True)
+        clock.advance(0.75)
+        window.record("a", accepted=True)
+        clock.advance(0.5)  # first record now out of window, second inside
+        assert window.received_count("a") == 1
+
+    def test_acceptance_ratio(self):
+        window = SlidingWindowCounts(ManualClock(), duration=1.0, step=0.1)
+        for accepted in (True, True, False, False):
+            window.record("t", accepted)
+        assert window.acceptance_ratio("t") == pytest.approx(0.5)
+
+    def test_average_acceptance_ratio_counts_unseen_as_zero(self):
+        window = SlidingWindowCounts(ManualClock(), duration=1.0, step=0.1)
+        window.record("a", accepted=True)
+        # "b" never seen: contributes 0 to the average, per Algorithm 3.
+        assert window.average_acceptance_ratio(["a", "b"]) == pytest.approx(
+            0.5)
+
+    def test_average_acceptance_ratio_empty_keys(self):
+        window = SlidingWindowCounts(ManualClock(), duration=1.0, step=0.1)
+        assert window.average_acceptance_ratio([]) == 0.0
+
+    def test_observed_keys(self):
+        window = SlidingWindowCounts(ManualClock(), duration=1.0, step=0.1)
+        window.record("x", accepted=False)
+        window.record("y", accepted=True)
+        assert sorted(window.observed_keys()) == ["x", "y"]
+
+    def test_totals_match_bucket_sum_across_rotation(self):
+        clock = ManualClock()
+        window = SlidingWindowCounts(clock, duration=1.0, step=0.1)
+        total = 0
+        for i in range(50):
+            window.record("k", accepted=(i % 2 == 0))
+            clock.advance(0.05)
+            total += 1
+        # Only records within the trailing 1.0s remain: 20 steps of 0.05s.
+        assert window.received_count("k") <= total
+        assert window.received_count("k") >= 15
+
+
+class TestSlidingWindowStats:
+    def test_mean_of_values(self):
+        stats = SlidingWindowStats(ManualClock(), duration=10.0, step=1.0)
+        for value in (0.010, 0.020, 0.030):
+            stats.add(value)
+        assert stats.mean() == pytest.approx(0.020)
+        assert stats.count() == 3
+
+    def test_empty_mean_is_zero(self):
+        stats = SlidingWindowStats(ManualClock(), duration=10.0, step=1.0)
+        assert stats.mean() == 0.0
+        assert stats.count() == 0
+
+    def test_values_age_out(self):
+        clock = ManualClock()
+        stats = SlidingWindowStats(clock, duration=2.0, step=0.5)
+        stats.add(0.100)
+        clock.advance(1.0)
+        stats.add(0.300)
+        assert stats.mean() == pytest.approx(0.200)
+        clock.advance(1.75)  # the 0.100 sample falls out
+        assert stats.mean() == pytest.approx(0.300)
+        clock.advance(10.0)
+        assert stats.mean() == 0.0
+
+    def test_rate_uses_elapsed_time_before_window_fills(self):
+        clock = ManualClock()
+        stats = SlidingWindowStats(clock, duration=60.0, step=1.0)
+        for _ in range(100):
+            stats.mark()
+        clock.advance(2.0)
+        # 100 events over ~2s, not over the 60s window.
+        assert stats.rate() == pytest.approx(50.0, rel=0.35)
+
+    def test_rate_over_full_window(self):
+        clock = ManualClock()
+        stats = SlidingWindowStats(clock, duration=4.0, step=1.0)
+        for _ in range(8):
+            stats.mark()
+            clock.advance(0.5)
+        # 8 events in 4 seconds.
+        assert stats.rate() == pytest.approx(2.0, rel=0.4)
+
+    def test_mark_counts_without_affecting_mean_meaningfully(self):
+        stats = SlidingWindowStats(ManualClock(), duration=10.0, step=1.0)
+        stats.mark()
+        stats.mark()
+        assert stats.count() == 2
+        assert stats.mean() == 0.0

@@ -1,0 +1,99 @@
+"""Tests for graph snapshots (the offline-job load path, paper §5.1)."""
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.liquid import EdgeQuery, LiquidService, build_random_graph
+from repro.liquid.snapshot import (MANIFEST_NAME, load_snapshot,
+                                   read_manifest, save_snapshot)
+
+
+@pytest.fixture
+def service():
+    return build_random_graph(150, 4.0, "l", seed=5, num_shards=3)
+
+
+class TestSaveSnapshot:
+    def test_writes_one_file_per_shard_plus_manifest(self, service,
+                                                     tmp_path):
+        written = save_snapshot(service, str(tmp_path))
+        assert len(written) == 3
+        files = sorted(os.listdir(tmp_path))
+        assert MANIFEST_NAME in files
+        assert "shard-0000.jsonl" in files
+
+    def test_manifest_counts_match(self, service, tmp_path):
+        written = save_snapshot(service, str(tmp_path))
+        manifest = read_manifest(str(tmp_path))
+        assert manifest["edge_count"] == service.edge_count
+        assert manifest["files"] == written
+
+    def test_creates_directory(self, service, tmp_path):
+        target = tmp_path / "nested" / "snap"
+        save_snapshot(service, str(target))
+        assert (target / MANIFEST_NAME).exists()
+
+
+class TestLoadSnapshot:
+    def test_round_trip_preserves_queries(self, service, tmp_path):
+        save_snapshot(service, str(tmp_path))
+        restored = load_snapshot(str(tmp_path))
+        assert restored.edge_count == service.edge_count
+        assert restored.num_shards == service.num_shards
+        for src in ("v0", "v42", "v99"):
+            assert (restored.execute(EdgeQuery(src, "l")).value
+                    == service.execute(EdgeQuery(src, "l")).value)
+
+    def test_load_into_existing_service(self, service, tmp_path):
+        save_snapshot(service, str(tmp_path))
+        target = LiquidService(num_shards=3)
+        load_snapshot(str(tmp_path), service=target)
+        assert target.edge_count == service.edge_count
+
+    def test_shard_count_mismatch_rejected(self, service, tmp_path):
+        save_snapshot(service, str(tmp_path))
+        with pytest.raises(ConfigurationError, match="shards"):
+            load_snapshot(str(tmp_path), service=LiquidService(5))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="manifest"):
+            load_snapshot(str(tmp_path))
+
+    def test_bad_manifest_json(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            read_manifest(str(tmp_path))
+
+    def test_wrong_format_version(self, service, tmp_path):
+        save_snapshot(service, str(tmp_path))
+        manifest_path = tmp_path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError, match="format version"):
+            load_snapshot(str(tmp_path))
+
+    def test_missing_shard_file(self, service, tmp_path):
+        save_snapshot(service, str(tmp_path))
+        os.remove(tmp_path / "shard-0001.jsonl")
+        with pytest.raises(ConfigurationError, match="missing"):
+            load_snapshot(str(tmp_path))
+
+    def test_malformed_edge_record(self, service, tmp_path):
+        save_snapshot(service, str(tmp_path))
+        path = tmp_path / "shard-0000.jsonl"
+        path.write_text(path.read_text() + '{"src": "a"}\n')
+        with pytest.raises(ConfigurationError, match="malformed"):
+            load_snapshot(str(tmp_path))
+
+    def test_edge_count_mismatch_detected(self, service, tmp_path):
+        save_snapshot(service, str(tmp_path))
+        manifest_path = tmp_path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["edge_count"] += 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            load_snapshot(str(tmp_path))

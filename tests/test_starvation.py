@@ -1,0 +1,233 @@
+"""Unit tests for the starvation-avoidance strategies (paper §4)."""
+
+import random
+
+import pytest
+
+from repro.core import (AcceptanceAllowancePolicy, AlwaysAcceptPolicy,
+                        AlwaysRejectPolicy, HelpingTheUnderservedPolicy,
+                        ManualClock)
+from repro.core.types import Query
+from repro.exceptions import ConfigurationError
+
+
+class FixedRandom(random.Random):
+    """An RNG returning a scripted sequence from random() (then 0.5)."""
+
+    def __init__(self, values):
+        super().__init__(0)
+        self._values = list(values)
+
+    def random(self):
+        if self._values:
+            return self._values.pop(0)
+        return 0.5
+
+
+class TestAcceptanceAllowance:
+    def test_rejects_bad_allowance(self):
+        with pytest.raises(ConfigurationError):
+            AcceptanceAllowancePolicy(AlwaysAcceptPolicy(), ManualClock(),
+                                      allowance=1.5)
+        with pytest.raises(ConfigurationError):
+            AcceptanceAllowancePolicy(AlwaysAcceptPolicy(), ManualClock(),
+                                      allowance=-0.1)
+
+    def test_first_query_of_type_always_accepted(self):
+        # rqc == 0 -> Accept, without consulting the inner policy.
+        inner = AlwaysRejectPolicy()
+        policy = AcceptanceAllowancePolicy(inner, ManualClock(),
+                                           allowance=0.0,
+                                           rng=FixedRandom([0.99]))
+        result = policy.decide(Query(qtype="t"))
+        assert result.accepted and result.overridden
+        assert inner.stats.totals().received == 0
+
+    def test_under_allowance_accepts_without_inner(self):
+        inner = AlwaysRejectPolicy()
+        policy = AcceptanceAllowancePolicy(inner, ManualClock(),
+                                           allowance=0.5,
+                                           rng=FixedRandom([0.99] * 10))
+        first = policy.decide(Query(qtype="t"))  # rqc==0 free pass
+        assert first.accepted
+        # Window now: aqc=1, rqc=1 -> AR=1.0 >= 0.5 -> ask inner (rejects),
+        # then the on-the-spot draw 0.99 >= 0.5 -> reject stands.
+        second = policy.decide(Query(qtype="t"))
+        assert not second.accepted
+        # Now AR = 1/2 = 0.5; not < 0.5; inner rejects; draw 0.99 -> reject.
+        third = policy.decide(Query(qtype="t"))
+        assert not third.accepted
+        # AR = 1/3 < 0.5 -> historical part force-accepts.
+        fourth = policy.decide(Query(qtype="t"))
+        assert fourth.accepted and fourth.overridden
+
+    def test_on_the_spot_override_probability(self):
+        inner = AlwaysRejectPolicy()
+        # First call burns the rqc==0 free pass; second draws 0.01 < A.
+        policy = AcceptanceAllowancePolicy(inner, ManualClock(),
+                                           allowance=0.05,
+                                           rng=FixedRandom([0.01]))
+        policy.decide(Query(qtype="t"))
+        result = policy.decide(Query(qtype="t"))
+        # AR = 1/1 = 1.0 >= A, inner rejects, draw 0.01 < 0.05 -> override.
+        assert result.accepted and result.overridden
+
+    def test_accepting_inner_policy_passes_through(self):
+        inner = AlwaysAcceptPolicy()
+        policy = AcceptanceAllowancePolicy(inner, ManualClock(),
+                                           allowance=0.01, seed=1)
+        policy.decide(Query(qtype="t"))  # free pass
+        result = policy.decide(Query(qtype="t"))
+        assert result.accepted and not result.overridden
+
+    def test_long_run_acceptance_ratio_meets_allowance(self):
+        inner = AlwaysRejectPolicy()
+        clock = ManualClock()
+        policy = AcceptanceAllowancePolicy(inner, clock, allowance=0.10,
+                                           window=1.0, step=0.01, seed=42)
+        accepted = 0
+        n = 5000
+        for _ in range(n):
+            clock.advance(0.0005)
+            if policy.decide(Query(qtype="t")).accepted:
+                accepted += 1
+        ratio = accepted / n
+        # Historical floor guarantees ~A acceptance; the on-the-spot draws
+        # add a little more: A <= ratio <= ~2.2*A.
+        assert 0.08 <= ratio <= 0.25
+
+    def test_zero_allowance_only_first_free_pass(self):
+        inner = AlwaysRejectPolicy()
+        clock = ManualClock()
+        policy = AcceptanceAllowancePolicy(inner, clock, allowance=0.0,
+                                           seed=3)
+        results = [policy.decide(Query(qtype="t")).accepted
+                   for _ in range(50)]
+        assert results[0] is True
+        assert not any(results[1:])
+
+    def test_types_tracked_independently(self):
+        inner = AlwaysRejectPolicy()
+        policy = AcceptanceAllowancePolicy(inner, ManualClock(),
+                                           allowance=0.0,
+                                           rng=FixedRandom([0.9] * 10))
+        assert policy.decide(Query(qtype="a")).accepted   # free pass a
+        assert policy.decide(Query(qtype="b")).accepted   # free pass b
+        assert not policy.decide(Query(qtype="a")).accepted
+
+    def test_override_count_increments(self):
+        inner = AlwaysRejectPolicy()
+        policy = AcceptanceAllowancePolicy(inner, ManualClock(),
+                                           allowance=0.0,
+                                           rng=FixedRandom([0.9]))
+        policy.decide(Query(qtype="t"))
+        assert policy.override_count == 1
+
+    def test_hooks_forward_to_inner(self):
+        calls = []
+
+        class Recorder(AlwaysAcceptPolicy):
+            def on_completed(self, query, wait, proc):
+                calls.append((query.qtype, proc))
+
+        policy = AcceptanceAllowancePolicy(Recorder(), ManualClock(),
+                                           allowance=0.05, seed=1)
+        policy.on_completed(Query(qtype="t"), 0.0, 0.01)
+        assert calls == [("t", 0.01)]
+
+
+class TestHelpingTheUnderserved:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            HelpingTheUnderservedPolicy(AlwaysAcceptPolicy(), ManualClock(),
+                                        alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            HelpingTheUnderservedPolicy(AlwaysAcceptPolicy(), ManualClock(),
+                                        alpha=1.5)
+
+    def test_inner_acceptance_passes_through(self):
+        policy = HelpingTheUnderservedPolicy(AlwaysAcceptPolicy(),
+                                             ManualClock(), alpha=1.0,
+                                             seed=1)
+        result = policy.decide(Query(qtype="t"))
+        assert result.accepted and not result.overridden
+
+    def test_override_probability_formula(self):
+        policy = HelpingTheUnderservedPolicy(AlwaysRejectPolicy(),
+                                             ManualClock(), alpha=1.0)
+        # x = (AAR - AR) / AAR; p = alpha * x / (1 + x).
+        assert policy.override_probability(0.0, 0.5) == pytest.approx(0.5)
+        assert policy.override_probability(0.25, 0.5) == pytest.approx(
+            (0.5 / 1.5))
+        assert policy.override_probability(0.5, 0.5) == 0.0
+        assert policy.override_probability(0.9, 0.5) == 0.0
+        assert policy.override_probability(0.1, 0.0) == 0.0
+
+    def test_alpha_scales_probability(self):
+        policy = HelpingTheUnderservedPolicy(AlwaysRejectPolicy(),
+                                             ManualClock(), alpha=0.4)
+        assert policy.override_probability(0.0, 0.5) == pytest.approx(0.2)
+
+    def test_max_override_probability_is_half_alpha(self):
+        # With AR -> 0, x -> 1, p -> alpha / 2 (the paper's p_max).
+        policy = HelpingTheUnderservedPolicy(AlwaysRejectPolicy(),
+                                             ManualClock(), alpha=1.0)
+        for aar in (0.1, 0.5, 0.9):
+            assert policy.override_probability(0.0, aar) == pytest.approx(
+                0.5)
+
+    def test_underserved_type_gets_overrides(self):
+        # Type "b" is always rejected by the inner policy while "a" is
+        # accepted, so b's AR stays below AAR and overrides must happen.
+        class OnlyA(AlwaysAcceptPolicy):
+            def _decide(self, query):
+                from repro.core.types import AdmissionResult, RejectReason
+                if query.qtype == "a":
+                    return AdmissionResult.accept()
+                return AdmissionResult.reject(RejectReason.SLO_ESTIMATE)
+
+        clock = ManualClock()
+        policy = HelpingTheUnderservedPolicy(OnlyA(), clock, alpha=1.0,
+                                             qtypes=["a", "b"], seed=11)
+        b_accepted = 0
+        for i in range(2000):
+            clock.advance(0.0005)
+            policy.decide(Query(qtype="a"))
+            if policy.decide(Query(qtype="b")).accepted:
+                b_accepted += 1
+        # p approaches alpha * x/(1+x) with x near 1 -> ~1/3..1/2 of b's.
+        assert 400 <= b_accepted <= 1300
+        assert policy.override_count == b_accepted
+
+    def test_no_override_when_type_not_underserved(self):
+        policy = HelpingTheUnderservedPolicy(AlwaysRejectPolicy(),
+                                             ManualClock(), alpha=1.0,
+                                             qtypes=["t"], seed=2)
+        # Single type: AR == AAR at all times -> never overridden.
+        results = [policy.decide(Query(qtype="t")).accepted
+                   for _ in range(200)]
+        assert not any(results)
+
+    def test_dynamic_qtypes_falls_back_to_observed(self):
+        policy = HelpingTheUnderservedPolicy(AlwaysRejectPolicy(),
+                                             ManualClock(), alpha=1.0,
+                                             seed=4)
+        # First decision: no observed keys yet -> AAR over {qtype} = 0.
+        assert not policy.decide(Query(qtype="t")).accepted
+
+    def test_window_records_every_query_once(self):
+        policy = HelpingTheUnderservedPolicy(AlwaysRejectPolicy(),
+                                             ManualClock(), alpha=1.0,
+                                             qtypes=["t"], seed=5)
+        for _ in range(10):
+            policy.decide(Query(qtype="t"))
+        assert policy.window.received_count("t") == 10
+
+    def test_reset_stats_resets_inner_too(self):
+        inner = AlwaysAcceptPolicy()
+        policy = HelpingTheUnderservedPolicy(inner, ManualClock(),
+                                             alpha=1.0, seed=6)
+        policy.decide(Query(qtype="t"))
+        policy.reset_stats()
+        assert policy.stats.totals().received == 0
+        assert inner.stats.totals().received == 0

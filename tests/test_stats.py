@@ -1,0 +1,62 @@
+"""Unit tests for the exact-statistics helpers (repro._stats)."""
+
+import pytest
+
+from repro._stats import mean, percentile, percentiles
+
+
+class TestPercentile:
+    def test_empty_returns_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value(self):
+        for p in (0, 50, 100):
+            assert percentile([7.0], p) == 7.0
+
+    def test_extremes(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_linear_interpolation_matches_numpy_convention(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # numpy.percentile([1,2,3,4], 50) == 2.5
+        assert percentile(values, 50) == pytest.approx(2.5)
+        # numpy.percentile([1,2,3,4], 25) == 1.75
+        assert percentile(values, 25) == pytest.approx(1.75)
+
+    def test_against_numpy_if_available(self):
+        numpy = pytest.importorskip("numpy")
+        values = sorted([0.3, 1.7, 2.2, 9.1, 4.4, 5.0, 0.05])
+        for p in (10, 33.3, 50, 75, 90, 99):
+            assert percentile(values, p) == pytest.approx(
+                float(numpy.percentile(values, p)))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_monotone_in_p(self):
+        values = sorted([5.0, 1.0, 9.0, 3.0, 7.0])
+        results = [percentile(values, p) for p in range(0, 101, 10)]
+        assert results == sorted(results)
+
+
+class TestPercentiles:
+    def test_accepts_unsorted_input(self):
+        result = percentiles([3.0, 1.0, 2.0], [50.0])
+        assert result[50.0] == 2.0
+
+    def test_returns_requested_keys(self):
+        result = percentiles([1.0, 2.0], [50.0, 90.0])
+        assert set(result) == {50.0, 90.0}
+
+
+class TestMean:
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)

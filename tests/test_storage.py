@@ -1,0 +1,97 @@
+"""Unit tests for the shard-local EdgeStore."""
+
+from repro.liquid.storage import EdgeStore
+
+
+class TestEdgeStore:
+    def test_add_and_lookup(self):
+        store = EdgeStore()
+        assert store.add_edge("alice", "knows", "bob")
+        assert store.has_edge("alice", "knows", "bob")
+        assert store.out_neighbors("alice", "knows") == ["bob"]
+        assert store.in_neighbors("bob", "knows") == ["alice"]
+
+    def test_duplicate_add_returns_false(self):
+        store = EdgeStore()
+        assert store.add_edge("a", "l", "b")
+        assert not store.add_edge("a", "l", "b")
+        assert store.out_neighbors("a", "l") == ["b"]
+        assert store.edge_count == 1
+
+    def test_labels_are_independent(self):
+        store = EdgeStore()
+        store.add_edge("a", "knows", "b")
+        store.add_edge("a", "follows", "c")
+        assert store.out_neighbors("a", "knows") == ["b"]
+        assert store.out_neighbors("a", "follows") == ["c"]
+
+    def test_missing_vertex_has_no_neighbors(self):
+        store = EdgeStore()
+        assert store.out_neighbors("ghost", "l") == []
+        assert store.in_neighbors("ghost", "l") == []
+        assert store.out_degree("ghost", "l") == 0
+
+    def test_remove_edge(self):
+        store = EdgeStore()
+        store.add_edge("a", "l", "b")
+        assert store.remove_edge("a", "l", "b")
+        assert not store.has_edge("a", "l", "b")
+        assert store.out_neighbors("a", "l") == []
+        assert store.in_neighbors("b", "l") == []
+        assert store.edge_count == 0
+
+    def test_remove_missing_edge_returns_false(self):
+        assert not EdgeStore().remove_edge("a", "l", "b")
+
+    def test_readd_after_remove(self):
+        store = EdgeStore()
+        store.add_edge("a", "l", "b")
+        store.remove_edge("a", "l", "b")
+        assert store.add_edge("a", "l", "b")
+        assert store.out_neighbors("a", "l") == ["b"]
+        # The vlist holds two index entries but reads dedupe.
+        assert store.edge_count == 1
+
+    def test_out_degree(self):
+        store = EdgeStore()
+        for dst in ("b", "c", "d"):
+            store.add_edge("a", "l", dst)
+        assert store.out_degree("a", "l") == 3
+
+    def test_edges_iterates_live_edges(self):
+        store = EdgeStore()
+        store.add_edge("a", "l", "b")
+        store.add_edge("a", "l", "c")
+        store.remove_edge("a", "l", "b")
+        assert set(store.edges()) == {("a", "l", "c")}
+
+    def test_tombstone_count_and_compaction(self):
+        store = EdgeStore()
+        for dst in ("b", "c", "d"):
+            store.add_edge("a", "l", dst)
+        store.remove_edge("a", "l", "b")
+        store.remove_edge("a", "l", "c")
+        assert store.tombstone_count == 2
+        reclaimed = store.compact()
+        assert reclaimed == 2
+        assert store.tombstone_count == 0
+        assert store.out_neighbors("a", "l") == ["d"]
+        assert store.in_neighbors("d", "l") == ["a"]
+
+    def test_compaction_preserves_reads(self):
+        store = EdgeStore()
+        edges = [(f"v{i}", "l", f"v{(i * 7) % 50}") for i in range(50)]
+        for src, label, dst in edges:
+            store.add_edge(src, label, dst)
+        before = {src: store.out_neighbors(src, "l")
+                  for src, _, _ in edges}
+        store.compact()
+        after = {src: store.out_neighbors(src, "l") for src, _, _ in edges}
+        assert {k: sorted(v) for k, v in before.items()} == {
+            k: sorted(v) for k, v in after.items()}
+
+    def test_self_loop_supported(self):
+        store = EdgeStore()
+        store.add_edge("a", "l", "a")
+        assert store.out_neighbors("a", "l") == ["a"]
+        assert store.in_neighbors("a", "l") == ["a"]

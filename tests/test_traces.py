@@ -1,0 +1,86 @@
+"""Tests for the synthetic trace generators."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.liquid import (CountQuery, DistanceQuery, EdgeQuery, FanoutQuery,
+                          LiquidService, build_random_graph,
+                          linkedin_cost_table, linkedin_mix_proportions,
+                          sample_graph_queries)
+
+
+class TestLinkedinMix:
+    def test_proportions_normalized(self):
+        props = linkedin_mix_proportions()
+        assert sum(props.values()) == pytest.approx(1.0)
+        assert len(props) == 11
+
+    def test_published_shares_preserved(self):
+        props = linkedin_mix_proportions()
+        # QT11 27.80% and QT9 26.35% dominate; QT2/QT3 are rare.
+        assert props["QT11"] == pytest.approx(0.2780, rel=0.01)
+        assert props["QT9"] == pytest.approx(0.2635, rel=0.01)
+        assert props["QT2"] == pytest.approx(0.0004, rel=0.05)
+
+    def test_cost_table_scaling(self):
+        base = linkedin_cost_table(work_scale=1.0)
+        double = linkedin_cost_table(work_scale=2.0)
+        for a, b in zip(base, double):
+            assert b.subquery_median == pytest.approx(2 * a.subquery_median)
+            # Broker overhead models broker CPU: not scaled.
+            assert b.broker_overhead == a.broker_overhead
+
+    def test_cost_table_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            linkedin_cost_table(work_scale=0)
+
+
+class TestSampleGraphQueries:
+    @pytest.fixture
+    def service(self):
+        return build_random_graph(120, 4.0, "l", seed=3)
+
+    def test_yields_requested_count(self, service):
+        queries = list(sample_graph_queries(service, "l", 50, seed=1))
+        assert len(queries) == 50
+
+    def test_queries_reference_existing_vertices(self, service):
+        vertices = {src for engine in service.shards
+                    for (src, _, _) in engine.store.edges()}
+        for query in sample_graph_queries(service, "l", 40, seed=2):
+            assert query.src in vertices
+
+    def test_mix_controls_kinds(self, service):
+        queries = list(sample_graph_queries(
+            service, "l", 30, seed=3, mix=[("distance", 1.0)]))
+        assert all(isinstance(q, DistanceQuery) for q in queries)
+
+    def test_default_mix_covers_all_kinds(self, service):
+        kinds = {type(q) for q in
+                 sample_graph_queries(service, "l", 300, seed=4)}
+        assert kinds == {EdgeQuery, CountQuery, FanoutQuery, DistanceQuery}
+
+    def test_sampled_queries_execute(self, service):
+        for query in sample_graph_queries(service, "l", 25, seed=5):
+            result = service.execute(query)
+            assert result.rounds >= 0
+
+    def test_deterministic_by_seed(self, service):
+        a = [(type(q).__name__, q.src)
+             for q in sample_graph_queries(service, "l", 20, seed=6)]
+        b = [(type(q).__name__, q.src)
+             for q in sample_graph_queries(service, "l", 20, seed=6)]
+        assert a == b
+
+    def test_rejects_empty_service(self):
+        with pytest.raises(ConfigurationError):
+            list(sample_graph_queries(LiquidService(2), "l", 5))
+
+    def test_rejects_unknown_kind(self, service):
+        with pytest.raises(ConfigurationError):
+            list(sample_graph_queries(service, "l", 5,
+                                      mix=[("teleport", 1.0)]))
+
+    def test_rejects_zero_total_mix(self, service):
+        with pytest.raises(ConfigurationError):
+            list(sample_graph_queries(service, "l", 5, mix=[]))

@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.types."""
+
+import pytest
+
+from repro.core.types import (DEFAULT_QUERY_TYPE, AdmissionResult, Decision,
+                              Query, RejectReason, next_query_id)
+
+
+class TestQuery:
+    def test_query_ids_are_unique_and_increasing(self):
+        a, b = Query(qtype="x"), Query(qtype="x")
+        assert a.query_id < b.query_id
+
+    def test_next_query_id_monotone(self):
+        first = next_query_id()
+        second = next_query_id()
+        assert second == first + 1
+
+    def test_wait_time_requires_both_timestamps(self):
+        q = Query(qtype="x")
+        assert q.wait_time is None
+        q.enqueued_at = 1.0
+        assert q.wait_time is None
+        q.dequeued_at = 1.5
+        assert q.wait_time == pytest.approx(0.5)
+
+    def test_processing_time(self):
+        q = Query(qtype="x")
+        q.dequeued_at = 2.0
+        q.completed_at = 2.25
+        assert q.processing_time == pytest.approx(0.25)
+
+    def test_response_time_is_wait_plus_processing(self):
+        q = Query(qtype="x")
+        q.enqueued_at = 1.0
+        q.dequeued_at = 1.5
+        q.completed_at = 2.25
+        assert q.response_time == pytest.approx(
+            q.wait_time + q.processing_time)
+
+    def test_response_time_none_before_completion(self):
+        q = Query(qtype="x", arrival_time=0.0)
+        q.enqueued_at = 1.0
+        assert q.response_time is None
+
+    def test_default_type_constant(self):
+        assert DEFAULT_QUERY_TYPE == "default"
+
+
+class TestAdmissionResult:
+    def test_accept_helper(self):
+        result = AdmissionResult.accept()
+        assert result.accepted
+        assert result.decision is Decision.ACCEPT
+        assert result.reason is None
+        assert not result.overridden
+
+    def test_reject_helper_records_reason(self):
+        result = AdmissionResult.reject(RejectReason.SLO_ESTIMATE,
+                                        estimates={50: 0.02})
+        assert not result.accepted
+        assert result.reason is RejectReason.SLO_ESTIMATE
+        assert result.estimates[50] == pytest.approx(0.02)
+
+    def test_overridden_acceptance(self):
+        result = AdmissionResult.accept(overridden=True)
+        assert result.accepted and result.overridden
+        assert "override" in str(result)
+
+    def test_str_rejection_mentions_reason(self):
+        result = AdmissionResult.reject(RejectReason.QUEUE_FULL)
+        assert "queue_full" in str(result)
+
+    def test_decision_enum_truthiness(self):
+        assert Decision.ACCEPT
+        assert not Decision.REJECT

@@ -1,0 +1,166 @@
+"""Tests for the continuous update feed (paper §5.1's Kafka-like feed)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.liquid import (EdgeQuery, EdgeUpdate, LiquidService, UpdateLog,
+                          UpdateOp, UpdatePipeline)
+from repro.liquid.storage import EdgeStore
+from repro.liquid.updates import ShardConsumer
+
+
+class TestEdgeUpdate:
+    def test_helpers(self):
+        add = EdgeUpdate.add("a", "l", "b")
+        remove = EdgeUpdate.remove("a", "l", "b")
+        assert add.op is UpdateOp.ADD
+        assert remove.op is UpdateOp.REMOVE
+        assert add.src == "a" and add.dst == "b"
+
+    def test_frozen(self):
+        update = EdgeUpdate.add("a", "l", "b")
+        with pytest.raises(Exception):
+            update.src = "c"
+
+
+class TestUpdateLog:
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ConfigurationError):
+            UpdateLog(0)
+
+    def test_append_returns_position(self):
+        log = UpdateLog(1)
+        assert log.append(EdgeUpdate.add("a", "l", "b")) == (0, 0)
+        assert log.append(EdgeUpdate.add("a", "l", "c")) == (0, 1)
+
+    def test_partitioned_by_source_vertex(self):
+        log = UpdateLog(4)
+        u1 = EdgeUpdate.add("alice", "l", "bob")
+        u2 = EdgeUpdate.remove("alice", "l", "bob")
+        p1, _ = log.append(u1)
+        p2, _ = log.append(u2)
+        assert p1 == p2  # same source -> same partition, ordered
+
+    def test_read_from_offset(self):
+        log = UpdateLog(1)
+        updates = [EdgeUpdate.add("a", "l", f"v{i}") for i in range(5)]
+        log.append_all(updates)
+        assert log.read(0, 0) == updates
+        assert log.read(0, 3) == updates[3:]
+        assert log.read(0, 5) == []
+        assert log.read(0, 99) == []
+
+    def test_read_with_max_records(self):
+        log = UpdateLog(1)
+        log.append_all([EdgeUpdate.add("a", "l", f"v{i}")
+                        for i in range(5)])
+        assert len(log.read(0, 0, max_records=2)) == 2
+
+    def test_read_validates_arguments(self):
+        log = UpdateLog(2)
+        with pytest.raises(ConfigurationError):
+            log.read(2, 0)
+        with pytest.raises(ConfigurationError):
+            log.read(0, -1)
+
+    def test_iteration_covers_all_records(self):
+        log = UpdateLog(3)
+        updates = [EdgeUpdate.add(f"v{i}", "l", "x") for i in range(20)]
+        log.append_all(updates)
+        seen = [update for _, _, update in log]
+        assert sorted(u.src for u in seen) == sorted(u.src
+                                                     for u in updates)
+
+
+class TestShardConsumer:
+    def test_poll_applies_adds_and_removes(self):
+        log = UpdateLog(1)
+        store = EdgeStore()
+        consumer = ShardConsumer(log, 0, store)
+        log.append_all([EdgeUpdate.add("a", "l", "b"),
+                        EdgeUpdate.add("a", "l", "c"),
+                        EdgeUpdate.remove("a", "l", "b")])
+        assert consumer.poll() == 3
+        assert store.out_neighbors("a", "l") == ["c"]
+        assert consumer.offset == 3
+        assert consumer.lag == 0
+
+    def test_incremental_polling(self):
+        log = UpdateLog(1)
+        consumer = ShardConsumer(log, 0, EdgeStore())
+        log.append(EdgeUpdate.add("a", "l", "b"))
+        assert consumer.poll() == 1
+        assert consumer.poll() == 0  # idle poll is fine
+        log.append(EdgeUpdate.add("a", "l", "c"))
+        assert consumer.lag == 1
+        assert consumer.poll() == 1
+
+    def test_duplicate_application_is_idempotent(self):
+        log = UpdateLog(1)
+        store = EdgeStore()
+        consumer = ShardConsumer(log, 0, store)
+        log.append_all([EdgeUpdate.add("a", "l", "b"),
+                        EdgeUpdate.add("a", "l", "b")])
+        consumer.poll()
+        assert store.out_degree("a", "l") == 1
+        assert consumer.applied == 1
+        assert consumer.noops == 1
+
+    def test_rewind_replays_convergently(self):
+        log = UpdateLog(1)
+        store = EdgeStore()
+        consumer = ShardConsumer(log, 0, store)
+        log.append_all([EdgeUpdate.add("a", "l", "b"),
+                        EdgeUpdate.remove("a", "l", "b"),
+                        EdgeUpdate.add("a", "l", "c")])
+        consumer.poll()
+        before = sorted(store.edges())
+        consumer.rewind(0)
+        consumer.poll()
+        assert sorted(store.edges()) == before
+
+    def test_rewind_validates_range(self):
+        log = UpdateLog(1)
+        consumer = ShardConsumer(log, 0, EdgeStore())
+        with pytest.raises(ConfigurationError):
+            consumer.rewind(5)
+        with pytest.raises(ConfigurationError):
+            consumer.rewind(-1)
+
+
+class TestUpdatePipeline:
+    def test_updates_land_on_the_owning_shard(self):
+        service = LiquidService(num_shards=4)
+        pipeline = UpdatePipeline(service)
+        edges = [(f"v{i}", "l", f"v{(i + 1) % 30}") for i in range(30)]
+        pipeline.publish_all([EdgeUpdate.add(*edge) for edge in edges])
+        assert pipeline.total_lag() == 30
+        assert pipeline.drain() == 30
+        assert pipeline.total_lag() == 0
+        # The queryable state matches a directly-loaded service.
+        direct = LiquidService(num_shards=4)
+        direct.load_edges(edges)
+        for src in ("v0", "v7", "v13"):
+            assert (service.execute(EdgeQuery(src, "l")).value
+                    == direct.execute(EdgeQuery(src, "l")).value)
+
+    def test_removals_visible_after_drain(self):
+        service = LiquidService(num_shards=2)
+        pipeline = UpdatePipeline(service)
+        pipeline.publish(EdgeUpdate.add("a", "l", "b"))
+        pipeline.publish(EdgeUpdate.add("a", "l", "c"))
+        pipeline.drain()
+        pipeline.publish(EdgeUpdate.remove("a", "l", "b"))
+        pipeline.drain()
+        assert service.execute(EdgeQuery("a", "l")).value == ["c"]
+
+    def test_updates_interleave_with_queries(self):
+        # Reads between drains observe the applied prefix only.
+        service = LiquidService(num_shards=2)
+        pipeline = UpdatePipeline(service)
+        pipeline.publish(EdgeUpdate.add("a", "l", "b"))
+        pipeline.drain()
+        pipeline.publish(EdgeUpdate.add("a", "l", "c"))
+        assert service.execute(EdgeQuery("a", "l")).value == ["b"]
+        pipeline.drain()
+        assert service.execute(EdgeQuery("a", "l")).value == ["b", "c"]

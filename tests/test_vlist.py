@@ -1,0 +1,71 @@
+"""Unit tests for the VList chunked vector."""
+
+import pytest
+
+from repro.liquid.vlist import VList
+
+
+class TestVList:
+    def test_empty(self):
+        vlist = VList()
+        assert len(vlist) == 0
+        assert list(vlist) == []
+        assert "x" not in vlist
+
+    def test_append_and_read(self):
+        vlist = VList()
+        for i in range(100):
+            vlist.append(i)
+        assert len(vlist) == 100
+        assert list(vlist) == list(range(100))
+
+    def test_construct_from_sequence(self):
+        vlist = VList(["a", "b", "c"])
+        assert list(vlist) == ["a", "b", "c"]
+
+    def test_random_access(self):
+        vlist = VList(range(1000))
+        assert vlist[0] == 0
+        assert vlist[999] == 999
+        assert vlist[537] == 537
+
+    def test_negative_index(self):
+        vlist = VList(range(10))
+        assert vlist[-1] == 9
+        assert vlist[-10] == 0
+
+    def test_index_out_of_range(self):
+        vlist = VList(range(3))
+        with pytest.raises(IndexError):
+            vlist[3]
+        with pytest.raises(IndexError):
+            vlist[-4]
+
+    def test_slice(self):
+        vlist = VList(range(20))
+        assert vlist[5:8] == [5, 6, 7]
+        assert vlist[::7] == [0, 7, 14]
+
+    def test_contains(self):
+        vlist = VList(range(50))
+        assert 42 in vlist
+        assert 99 not in vlist
+
+    def test_chunks_grow_geometrically(self):
+        vlist = VList(range(100))
+        # 4 + 8 + 16 + 32 + 64 covers 100 items in 5 chunks.
+        assert len(vlist._chunks) == 5
+
+    def test_chunk_size_caps(self):
+        from repro.liquid.vlist import MAX_CHUNK
+        vlist = VList()
+        for i in range(MAX_CHUNK * 3):
+            vlist.append(i)
+        assert all(len(chunk) <= MAX_CHUNK for chunk in vlist._chunks)
+
+    def test_existing_chunks_stable_across_appends(self):
+        vlist = VList(range(4))
+        first_chunk = vlist._chunks[0]
+        for i in range(100):
+            vlist.append(i)
+        assert vlist._chunks[0] is first_chunk
