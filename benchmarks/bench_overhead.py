@@ -18,6 +18,7 @@ from repro.bench import cluster_slos, make_accept_fraction, make_bouncer, \
     make_bouncer_aa, make_maxql, make_maxqwt, publish
 from repro.core import HostContext, ManualClock, QueueView
 from repro.core.types import Query
+from repro.telemetry import DecisionTracer, Telemetry
 
 QTYPES = [f"QT{i}" for i in range(1, 12)]
 
@@ -79,3 +80,47 @@ def test_overhead_maxqwt(benchmark):
 def test_overhead_accept_fraction(benchmark):
     _bench_decide(benchmark, make_accept_fraction(max_utilization=0.8),
                   "accept_fraction")
+
+
+# -- telemetry overhead ----------------------------------------------------
+# The instrumented rows measure decide() + Telemetry.on_decision() — the
+# full point-1 hot path a live host pays per query — against the plain
+# decide() rows above.  Counters-only should cost single-digit extra
+# microseconds; full tracing (sample_rate=1.0, which also recomputes
+# Bouncer's wait estimate per event) bounds the worst case; a sampled
+# tracer at 1% is the recommended production setting.
+
+def _bench_instrumented(benchmark, telemetry, name, note):
+    policy, clock = warm_policy(make_bouncer(slos=cluster_slos()))
+    types = itertools.cycle(QTYPES)
+
+    def decide_and_record():
+        query = Query(qtype=next(types))
+        result = policy.decide(query)
+        telemetry.on_decision(query, result, now=clock.now(),
+                              queue_length=64, policy=policy)
+
+    benchmark(decide_and_record)
+    mean_us = benchmark.stats.stats.mean * 1e6
+    publish(f"overhead_{name}",
+            f"bouncer.decide() + on_decision() [{note}] mean: "
+            f"{mean_us:.1f} us (compare the uninstrumented overhead_"
+            f"bouncer row; telemetry must stay microsecond-scale too)")
+    assert mean_us < 1000.0
+
+
+def test_overhead_bouncer_with_registry(benchmark):
+    _bench_instrumented(benchmark, Telemetry(), "bouncer_telemetry",
+                        "counters only, tracing off")
+
+
+def test_overhead_bouncer_with_sampled_tracer(benchmark):
+    telemetry = Telemetry(tracer=DecisionTracer(sample_rate=0.01))
+    _bench_instrumented(benchmark, telemetry, "bouncer_tracer_sampled",
+                        "tracer at 1% sampling")
+
+
+def test_overhead_bouncer_with_full_tracer(benchmark):
+    telemetry = Telemetry(tracer=DecisionTracer(sample_rate=1.0))
+    _bench_instrumented(benchmark, telemetry, "bouncer_tracer_full",
+                        "tracer at 100% sampling")

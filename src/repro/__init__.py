@@ -15,6 +15,9 @@ The package provides:
   server and an open-loop load generator.
 * :mod:`repro.bench` — the experiment configurations and formatting used by
   the benchmark harness that regenerates every table and figure.
+* :mod:`repro.telemetry` — the measurement substrate: a metrics registry
+  with Prometheus-text exposition, per-query decision traces at the
+  paper's Figure-1 metric points, and an HTTP scrape endpoint.
 
 Quickstart::
 
@@ -59,6 +62,8 @@ from .runtime import AdmissionServer, LoadGenerator, LoadResult
 from .sim import (ArrivalSchedule, QueryTypeSpec, SimulatedServer,
                   SimulationReport, Simulator, TypeStats, WorkloadMix,
                   run_simulation)
+from .telemetry import (DecisionTracer, MetricsRegistry, Telemetry,
+                        TelemetryHTTPServer, TraceEvent)
 
 __version__ = "1.0.0"
 
@@ -132,4 +137,10 @@ __all__ = [
     "TypeStats",
     "WorkloadMix",
     "run_simulation",
+    # telemetry
+    "DecisionTracer",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryHTTPServer",
+    "TraceEvent",
 ]

@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Four commands:
 
 * ``simulate`` — run the §5.3 single-host study for one policy across one
   or more load factors and print the per-type outcome table.
 * ``cluster``  — run the §5.4 broker/shard cluster model for one policy
   across one or more (scaled) rates.
+* ``trace-report`` — summarize a JSONL decision trace (exported by the
+  telemetry tracer or scraped from a host's ``/traces`` endpoint) into
+  rejection-attribution and SLO-attainment tables.
 * ``info``     — print the reproduction's configuration: the Table 1 mix,
   the SLOs, the cluster shape, and the experiment-to-bench map.
 """
@@ -13,6 +16,7 @@ Three commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -23,6 +27,7 @@ from .bench import (CLUSTER_SCALE, cluster_config, cluster_policy_lineup,
                     make_maxqwt, simulation_mix)
 from .core import (GatekeeperConfig, GatekeeperPolicy, QCopConfig,
                    QCopPolicy)
+from .exceptions import ReproError
 from .liquid import run_cluster_simulation
 from .sim import run_simulation
 
@@ -76,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated scaled cluster rates")
     cluster.add_argument("--queries", type=int, default=10_000)
     cluster.add_argument("--seed", type=int, default=5)
+
+    trace = sub.add_parser(
+        "trace-report",
+        help="summarize a JSONL decision trace (telemetry export)")
+    trace.add_argument("path", help="trace file (one JSON event per line)")
 
     sub.add_parser("info", help="print the reproduction's configuration")
     return parser
@@ -147,6 +157,27 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    """Summarize an exported decision trace into the §5-style tables."""
+    from .telemetry import render_trace_report, summarize_trace
+
+    try:
+        summary = summarize_trace(args.path)
+    except OSError as exc:
+        print(f"trace-report: cannot read {args.path}: {exc}",
+              file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"trace-report: {exc}", file=sys.stderr)
+        return 1
+    if not summary.events:
+        print(f"trace-report: {args.path} holds no trace events",
+              file=sys.stderr)
+        return 1
+    print(render_trace_report(summary))
+    return 0
+
+
 def cmd_info() -> int:
     """Print the reproduction's workload, SLO, and cluster configuration."""
     mix = simulation_mix()
@@ -178,11 +209,21 @@ def cmd_info() -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "simulate":
-        return cmd_simulate(args)
-    if args.command == "cluster":
-        return cmd_cluster(args)
-    return cmd_info()
+    try:
+        if args.command == "simulate":
+            return cmd_simulate(args)
+        if args.command == "cluster":
+            return cmd_cluster(args)
+        if args.command == "trace-report":
+            return cmd_trace_report(args)
+        return cmd_info()
+    except BrokenPipeError:
+        # ``repro ... | head`` closes stdout early; exit quietly instead
+        # of dumping a traceback.  Detach stdout so the interpreter's
+        # shutdown flush cannot raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

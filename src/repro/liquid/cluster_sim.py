@@ -32,9 +32,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
+                    Sequence, Tuple)
 
 from collections import deque
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.telemetry
+    from ..telemetry import Telemetry
 
 from .._stats import mean, percentiles
 from ..core.baselines import AcceptFractionConfig, AcceptFractionPolicy
@@ -190,11 +194,13 @@ class ShardHost:
     """One shard: c-server FIFO queue under AcceptFraction (§5.4 setup)."""
 
     def __init__(self, sim: Simulator, config: ClusterConfig,
-                 index: int, rng: random.Random) -> None:
+                 index: int, rng: random.Random,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self._sim = sim
         self._config = config
         self.index = index
         self._rng = rng
+        self._telemetry = telemetry
         self.queue_view = QueueView()
         self.ctx = HostContext(clock=sim.clock, queue=self.queue_view,
                                parallelism=config.shard_processes)
@@ -230,6 +236,10 @@ class ShardHost:
             self.policy.stats.record(subquery.qtype, result)
         else:
             result = self.policy.decide(subquery)
+        if self._telemetry is not None:
+            self._telemetry.on_decision(
+                subquery, result, now=now,
+                queue_length=self.queue_view.length(), policy=self.policy)
         if not result.accepted:
             self.rejected_subqueries += 1
             callback(False)
@@ -248,6 +258,8 @@ class ShardHost:
             subquery.dequeued_at = now
             self.queue_view.on_dequeue(subquery.qtype)
             self.policy.on_dequeued(subquery, subquery.wait_time or 0.0)
+            if self._telemetry is not None:
+                self._telemetry.on_dequeue(subquery, now=now)
             self._idle -= 1
             busy_fraction = ((self._config.shard_processes - self._idle)
                              / self._config.shard_processes)
@@ -263,6 +275,8 @@ class ShardHost:
         subquery.completed_at = self._sim.now
         self.policy.on_completed(subquery, subquery.wait_time or 0.0,
                                  subquery.processing_time or 0.0)
+        if self._telemetry is not None:
+            self._telemetry.on_completion(subquery, now=self._sim.now)
         self.completed_subqueries += 1
         self._idle += 1
         callback(True)
@@ -274,13 +288,15 @@ class BrokerHost:
 
     def __init__(self, sim: Simulator, config: ClusterConfig, index: int,
                  policy_factory: PolicyFactory, shards: List[ShardHost],
-                 metrics: "ClusterMetrics", rng: random.Random) -> None:
+                 metrics: "ClusterMetrics", rng: random.Random,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self._sim = sim
         self._config = config
         self.index = index
         self._shards = shards
         self._metrics = metrics
         self._rng = rng
+        self._telemetry = telemetry
         self.queue_view = QueueView()
         self.ctx = HostContext(clock=sim.clock, queue=self.queue_view,
                                parallelism=config.broker_processes)
@@ -297,6 +313,10 @@ class BrokerHost:
             self.policy.stats.record(query.qtype, result)
         else:
             result = self.policy.decide(query)
+        if self._telemetry is not None:
+            self._telemetry.on_decision(
+                query, result, now=now,
+                queue_length=self.queue_view.length(), policy=self.policy)
         if not result.accepted:
             self._metrics.record_rejection(query.qtype, at_broker=True)
             return
@@ -312,6 +332,8 @@ class BrokerHost:
             query.dequeued_at = self._sim.now
             self.queue_view.on_dequeue(query.qtype)
             self.policy.on_dequeued(query, query.wait_time or 0.0)
+            if self._telemetry is not None:
+                self._telemetry.on_dequeue(query, now=self._sim.now)
             self._idle -= 1
             execution = _QueryExecution(query, self._config.cost_for(
                 query.qtype), self)
@@ -367,6 +389,8 @@ class BrokerHost:
             self.policy.on_completed(query, query.wait_time or 0.0,
                                      query.processing_time or 0.0)
             self._metrics.record_completion(query)
+            if self._telemetry is not None:
+                self._telemetry.on_completion(query, now=self._sim.now)
         self._dispatch()
 
 
@@ -475,17 +499,25 @@ class LiquidClusterSim:
     """Wires brokers and shards into one simulated cluster."""
 
     def __init__(self, sim: Simulator, config: ClusterConfig,
-                 broker_policy_factory: PolicyFactory) -> None:
+                 broker_policy_factory: PolicyFactory,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self._sim = sim
         self.config = config
         self.metrics = ClusterMetrics()
+        self.telemetry = telemetry
         root_rng = random.Random(config.seed)
+        # Each host records through a scoped view stamping its own host
+        # label ("shard-0", "broker-2", ...) into the shared registry.
         self.shards = [ShardHost(sim, config, i,
-                                 random.Random(root_rng.randrange(2 ** 32)))
+                                 random.Random(root_rng.randrange(2 ** 32)),
+                                 telemetry=(telemetry.scoped(f"shard-{i}")
+                                            if telemetry else None))
                        for i in range(config.num_shards)]
         self.brokers = [BrokerHost(sim, config, i, broker_policy_factory,
                                    self.shards, self.metrics,
-                                   random.Random(root_rng.randrange(2 ** 32)))
+                                   random.Random(root_rng.randrange(2 ** 32)),
+                                   telemetry=(telemetry.scoped(f"broker-{i}")
+                                              if telemetry else None))
                         for i in range(config.num_brokers)]
         self._next_broker = 0
 
@@ -509,12 +541,16 @@ def run_cluster_simulation(config: ClusterConfig,
                            broker_policy_factory: PolicyFactory,
                            rate_qps: float, num_queries: int,
                            warmup_queries: Optional[int] = None,
-                           seed: int = 1) -> ClusterReport:
+                           seed: int = 1,
+                           telemetry: Optional["Telemetry"] = None
+                           ) -> ClusterReport:
     """Drive the simulated cluster at ``rate_qps`` and report outcomes.
 
     Mirrors :func:`repro.sim.driver.run_simulation`: Poisson arrivals with
     pre-drawn types, a warm-up phase excluded from measurement, then
-    ``num_queries`` measured arrivals and a full drain.
+    ``num_queries`` measured arrivals and a full drain.  ``telemetry``
+    (optional) receives per-host counters and decision traces from every
+    broker and shard.
     """
     if num_queries < 1:
         raise ConfigurationError("num_queries must be >= 1")
@@ -525,7 +561,8 @@ def run_cluster_simulation(config: ClusterConfig,
     total = warmup_queries + num_queries
 
     sim = Simulator()
-    cluster = LiquidClusterSim(sim, config, broker_policy_factory)
+    cluster = LiquidClusterSim(sim, config, broker_policy_factory,
+                               telemetry=telemetry)
     arrival_rng = random.Random(seed)
     cumulative: List[float] = []
     running = 0.0

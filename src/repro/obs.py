@@ -28,7 +28,11 @@ _PREFIX = "repro_admission"
 
 
 def _escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"')
+    # Per the Prometheus text-format spec, label values must escape
+    # backslash, double-quote, AND line-feed — a raw newline would split
+    # the sample line and corrupt the whole scrape body.
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def _line(name: str, labels: Dict[str, str], value: float) -> str:
@@ -40,11 +44,18 @@ def _line(name: str, labels: Dict[str, str], value: float) -> str:
 
 
 def render_metrics(policy: AdmissionPolicy,
-                   queue: Optional[QueueView] = None) -> str:
+                   queue: Optional[QueueView] = None, *,
+                   policy_errors: Optional[int] = None,
+                   expired_count: Optional[int] = None) -> str:
     """Render a policy's counters (and queue state) as exposition text.
 
     Stable output ordering (sorted by metric, then labels) so scrapes and
     tests can diff it.
+
+    ``policy_errors`` (fail-open admissions after a policy exception) and
+    ``expired_count`` (deadline drops) are host-side counters — pass them
+    from the serving host (e.g. :class:`~repro.runtime.server
+    .AdmissionServer`) to include them in the scrape; ``None`` omits them.
     """
     lines: List[str] = []
     lines.append(f"# HELP {_PREFIX}_accepted_total Queries admitted, "
@@ -71,6 +82,17 @@ def render_metrics(policy: AdmissionPolicy,
                 "rejected_total",
                 {"qtype": qtype, "reason": reason.value},
                 counters.rejected_by_reason[reason]))
+
+    if policy_errors is not None:
+        lines.append(f"# HELP {_PREFIX}_policy_errors_total Policy "
+                     f"exceptions absorbed by the fail-open host.")
+        lines.append(f"# TYPE {_PREFIX}_policy_errors_total counter")
+        lines.append(_line("policy_errors_total", {}, policy_errors))
+    if expired_count is not None:
+        lines.append(f"# HELP {_PREFIX}_expired_total Admitted queries "
+                     f"dropped in the queue past their deadline.")
+        lines.append(f"# TYPE {_PREFIX}_expired_total counter")
+        lines.append(_line("expired_total", {}, expired_count))
 
     if queue is not None:
         lines.append(f"# HELP {_PREFIX}_queue_length Queries waiting in "

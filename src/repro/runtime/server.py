@@ -10,6 +10,13 @@ Policies are constructed from the server's :class:`~repro.core.context
 .HostContext` exactly as in simulation, so a policy validated in the
 simulator deploys here unchanged — the property the paper relies on when it
 moves Bouncer from the §5.3 simulator to the §5.4 LIquid cluster.
+
+Telemetry: every server owns a :class:`~repro.telemetry.Telemetry` (pass
+one with a :class:`~repro.telemetry.DecisionTracer` to capture per-query
+decision traces), its operational counters (``policy_errors``,
+``expired_count``) live in the telemetry registry, and
+:meth:`serve_telemetry` starts an HTTP thread exposing ``/metrics`` and
+``/traces`` for live scrapes.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ from ..core.policy import AdmissionPolicy, QueueView
 from ..core.types import AdmissionResult, Query
 from ..exceptions import (ConfigurationError, DeadlineExceededError,
                           QueryRejectedError, ShuttingDownError)
+from ..obs import render_metrics
+from ..telemetry import Telemetry, TelemetryHTTPServer
 
 Handler = Callable[[Query], Any]
 PolicyFactory = Callable[[HostContext], AdmissionPolicy]
@@ -49,11 +58,17 @@ class AdmissionServer:
         they queued; their future fails with
         :class:`~repro.exceptions.DeadlineExceededError` without spending
         handler time (LIquid's expiration enforcement, §5.1).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` to record into (share
+        one across servers to aggregate, attach a tracer to capture
+        decision traces).  When omitted the server creates a private
+        registry-only instance, so counters always work and tracing is off.
 
     Usage::
 
         server = AdmissionServer(factory, handler, workers=8)
         server.start()
+        exposition = server.serve_telemetry()   # optional: /metrics scrape
         try:
             future = server.submit(Query(qtype="edge", payload=...))
             print(future.result(timeout=1.0))
@@ -67,7 +82,8 @@ class AdmissionServer:
     """
 
     def __init__(self, policy_factory: PolicyFactory, handler: Handler,
-                 workers: int = 8, enforce_deadlines: bool = True) -> None:
+                 workers: int = 8, enforce_deadlines: bool = True,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self._clock = MonotonicClock()
@@ -78,16 +94,28 @@ class AdmissionServer:
         self._handler = handler
         self._workers_count = workers
         self._enforce_deadlines = enforce_deadlines
-        self.expired_count = 0
-        #: Exceptions raised by the policy's decide(); the server fails
-        #: open (admits) on these, because a crashing admission policy
-        #: must degrade to "no admission control", not to an outage.
-        self.policy_errors = 0
+        #: Metric-point sink; fail-open and expiration counters live in its
+        #: registry (scrapable), replacing the former ad-hoc int attributes.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._queue: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
         self._threads: list = []
         self._started = False
         self._stopping = False
         self._lock = threading.Lock()
+        self._exposition: Optional[TelemetryHTTPServer] = None
+
+    # -- operational counters (backed by the telemetry registry) ---------
+    @property
+    def expired_count(self) -> int:
+        """Admitted queries dropped in the queue past their deadline."""
+        return self.telemetry.expired_count
+
+    @property
+    def policy_errors(self) -> int:
+        """Exceptions raised by the policy's decide()/hooks; the server
+        fails open (admits) on these, because a crashing admission policy
+        must degrade to "no admission control", not to an outage."""
+        return self.telemetry.policy_error_count
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> None:
@@ -107,7 +135,8 @@ class AdmissionServer:
     def stop(self, timeout: Optional[float] = 10.0) -> None:
         """Stop accepting work and join the workers.
 
-        Queries already queued are still processed (graceful drain).
+        Queries already queued are still processed (graceful drain).  The
+        telemetry exposition thread, if running, is stopped too.
         """
         with self._lock:
             if not self._started or self._stopping:
@@ -120,6 +149,9 @@ class AdmissionServer:
         self._threads.clear()
         with self._lock:
             self._started = False
+        if self._exposition is not None:
+            self._exposition.stop()
+            self._exposition = None
 
     def __enter__(self) -> "AdmissionServer":
         self.start()
@@ -127,6 +159,43 @@ class AdmissionServer:
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+    # -- telemetry exposition --------------------------------------------
+    def render_metrics(self) -> str:
+        """Full scrape body: policy/queue exposition + telemetry registry.
+
+        A strict superset of :func:`repro.obs.render_metrics` — the
+        policy-side counters and Bouncer percentile estimates, the
+        fail-open/expiration counters, and everything the telemetry
+        registry accumulated (measured latency histograms, traces-side
+        counters).
+        """
+        base = render_metrics(self.policy, self.queue_view,
+                              policy_errors=self.policy_errors,
+                              expired_count=self.expired_count)
+        return base + self.telemetry.render()
+
+    def render_traces(self, limit: Optional[int] = None) -> str:
+        """Recent decision-trace events as JSONL ("" when tracing is off)."""
+        tracer = self.telemetry.tracer
+        if tracer is None:
+            return ""
+        return tracer.render_jsonl(limit)
+
+    def serve_telemetry(self, host: str = "127.0.0.1",
+                        port: int = 0) -> TelemetryHTTPServer:
+        """Start (or return) the HTTP exposition thread for this server.
+
+        Binds an ephemeral port by default; read it from the returned
+        server's ``port``.  Stopped automatically by :meth:`stop`.
+        """
+        if self._exposition is None:
+            traces_fn = (self.render_traces
+                         if self.telemetry.tracer is not None else None)
+            self._exposition = TelemetryHTTPServer(
+                metrics_fn=self.render_metrics, traces_fn=traces_fn,
+                host=host, port=port).start()
+        return self._exposition
 
     # -- submission ------------------------------------------------------
     def submit(self, query: Query) -> "Future[Any]":
@@ -149,8 +218,11 @@ class AdmissionServer:
         except Exception:
             # Fail open: a broken policy should cost admission control,
             # not availability.  The error is counted for alerting.
-            self.policy_errors += 1
+            self.telemetry.on_policy_error()
             result = AdmissionResult.accept()
+        self.telemetry.on_decision(query, result, now=now,
+                                   queue_length=self.queue_view.length(),
+                                   policy=self.policy)
         if not result.accepted:
             raise QueryRejectedError(result)
         future: "Future[Any]" = Future()
@@ -184,7 +256,7 @@ class AdmissionServer:
             if (self._enforce_deadlines and query.deadline is not None
                     and now > query.deadline):
                 self.queue_view.on_dequeue(query.qtype)
-                self.expired_count += 1
+                self.telemetry.on_expired(query, now=now)
                 future.set_exception(DeadlineExceededError(
                     f"query {query.query_id} expired in the queue"))
                 continue
@@ -195,11 +267,13 @@ class AdmissionServer:
             except Exception:
                 # Policy hooks are advisory: a buggy hook must not kill
                 # the worker or the query.
-                self.policy_errors += 1
+                self.telemetry.on_policy_error()
+            self.telemetry.on_dequeue(query, now=now)
             try:
                 outcome = self._handler(query)
             except Exception as exc:  # propagate into the caller's future
                 query.completed_at = self._clock.now()
+                self.telemetry.on_completion(query, now=query.completed_at)
                 future.set_exception(exc)
                 continue
             query.completed_at = self._clock.now()
@@ -207,5 +281,6 @@ class AdmissionServer:
                 self.policy.on_completed(query, query.wait_time or 0.0,
                                          query.processing_time or 0.0)
             except Exception:
-                self.policy_errors += 1
+                self.telemetry.on_policy_error()
+            self.telemetry.on_completion(query, now=query.completed_at)
             future.set_result(outcome)

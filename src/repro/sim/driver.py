@@ -12,7 +12,10 @@ policy under test, so policy comparisons see the same incoming traffic.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.telemetry
+    from ..telemetry import Telemetry
 
 from ..core.types import Query
 from ..exceptions import ConfigurationError
@@ -27,7 +30,8 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
                    parallelism: int = 100,
                    warmup_queries: Optional[int] = None,
                    seed: int = 1,
-                   on_decision: Optional[DecisionHook] = None
+                   on_decision: Optional[DecisionHook] = None,
+                   telemetry: Optional["Telemetry"] = None
                    ) -> SimulationReport:
     """Simulate one policy under one traffic rate and report the outcome.
 
@@ -55,6 +59,11 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
     on_decision:
         Optional per-decision hook (receives simulated time, the query, and
         the result) for time-series experiments such as Figure 3.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink forwarded to the
+        simulated host; attach a tracer to capture per-query decision
+        traces of the run (warm-up included — filter on timestamps if
+        needed).
     """
     if num_queries < 1:
         raise ConfigurationError("num_queries must be >= 1")
@@ -64,7 +73,7 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
 
     sim = Simulator()
     server = SimulatedServer(sim, parallelism, policy_factory,
-                             on_decision=on_decision)
+                             on_decision=on_decision, telemetry=telemetry)
     arrivals: Iterator[Query] = iter(
         ArrivalSchedule(mix, rate_qps, seed=seed))
     offered = 0

@@ -14,7 +14,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+
+if TYPE_CHECKING:  # avoid a sim <-> telemetry import cycle at runtime
+    from ..telemetry import Telemetry
 
 from ..core.context import HostContext
 from ..core.policy import AdmissionPolicy, QueueView
@@ -58,6 +61,11 @@ class SimulatedServer:
         extension.  Note Bouncer's Eq. 2 wait estimate assumes FIFO, so
         under a priority discipline its estimates are approximate for
         low-priority types.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink; when supplied,
+        the host records counters and (if a tracer is attached) per-query
+        decision traces at the Point 1/2/3 hooks.  ``None`` (the default)
+        skips all telemetry work.
     """
 
     def __init__(self, sim: Simulator, parallelism: int,
@@ -65,7 +73,8 @@ class SimulatedServer:
                  service_time_fn: Callable[[Query], float] = service_time_of,
                  on_decision: Optional[DecisionHook] = None,
                  enforce_deadlines: bool = True,
-                 priority_fn: Optional[PriorityFn] = None) -> None:
+                 priority_fn: Optional[PriorityFn] = None,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         if parallelism < 1:
             raise ConfigurationError(
                 f"parallelism must be >= 1, got {parallelism}")
@@ -79,6 +88,7 @@ class SimulatedServer:
         self._on_decision = on_decision
         self._enforce_deadlines = enforce_deadlines
         self._priority_fn = priority_fn
+        self._telemetry = telemetry
         self._queue: Deque[Query] = deque()
         self._heap: List[Tuple[float, int, Query]] = []
         self._heap_seq = itertools.count()
@@ -119,6 +129,10 @@ class SimulatedServer:
         result = self.policy.decide(query)
         if self._on_decision is not None:
             self._on_decision(now, query, result)
+        if self._telemetry is not None:
+            self._telemetry.on_decision(query, result, now=now,
+                                        queue_length=self.queue_length,
+                                        policy=self.policy)
         if not result.accepted:
             self.metrics.record_rejection(query, result)
             return result
@@ -180,11 +194,15 @@ class SimulatedServer:
                 # Expired while queued: drop without engine work (§5.1).
                 self.queue_view.on_dequeue(query.qtype)
                 self.metrics.record_expiration(query, wasted_work=0.0)
+                if self._telemetry is not None:
+                    self._telemetry.on_expired(query, now=now)
                 continue
             query.dequeued_at = now
             self.queue_view.on_dequeue(query.qtype)
             wait = query.wait_time or 0.0
             self.policy.on_dequeued(query, wait)
+            if self._telemetry is not None:
+                self._telemetry.on_dequeue(query, now=now)
             self._account_busy()
             self._idle -= 1
             service = self._service_time_fn(query)
@@ -205,6 +223,8 @@ class SimulatedServer:
         else:
             self.policy.on_completed(query, wait, processing)
             self.metrics.record_completion(query)
+        if self._telemetry is not None:
+            self._telemetry.on_completion(query, now=now)
         self._account_busy()
         self._idle += 1
         self._dispatch()

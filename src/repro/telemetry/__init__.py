@@ -1,0 +1,52 @@
+"""End-to-end telemetry: metric registry, decision traces, exposition.
+
+The measurement substrate behind the reproduction's serving stack.  Every
+host (simulated, threaded runtime, cluster broker/shard) fires the paper's
+Figure-1 metric points into a :class:`Telemetry` facade, which maintains
+
+* a thread-safe :class:`MetricsRegistry` (counters, gauges, log-bucketed
+  histograms) rendered in the Prometheus text format,
+* an optional :class:`DecisionTracer` recording one structured
+  :class:`TraceEvent` per sampled query per metric point, exportable as
+  JSONL, and
+* a stdlib :class:`TelemetryHTTPServer` serving ``/metrics`` and
+  ``/traces`` for live scrapes of a running host.
+
+``repro trace-report <file.jsonl>`` (see :mod:`repro.telemetry.report`)
+turns an exported trace into rejection-attribution and SLO-attainment
+tables.  Hosts accept ``telemetry=None`` (the default) and then skip all
+of this at the cost of one ``is None`` test per metric point.
+"""
+
+from .http import (METRICS_CONTENT_TYPE, TRACES_CONTENT_TYPE,
+                   TelemetryHTTPServer)
+from .hub import Telemetry
+from .registry import (DEFAULT_PREFIX, EXPOSITION_LAYOUT, MetricFamily,
+                       MetricsRegistry, escape_help, escape_label_value)
+from .report import (TraceSummary, TypeTraceSummary, render_trace_report,
+                     summarize_events, summarize_trace)
+from .tracer import (DEFAULT_CAPACITY, DecisionTracer, TraceEvent,
+                     load_jsonl, parse_jsonl)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_PREFIX",
+    "DecisionTracer",
+    "EXPOSITION_LAYOUT",
+    "METRICS_CONTENT_TYPE",
+    "MetricFamily",
+    "MetricsRegistry",
+    "TRACES_CONTENT_TYPE",
+    "Telemetry",
+    "TelemetryHTTPServer",
+    "TraceEvent",
+    "TraceSummary",
+    "TypeTraceSummary",
+    "escape_help",
+    "escape_label_value",
+    "load_jsonl",
+    "parse_jsonl",
+    "render_trace_report",
+    "summarize_events",
+    "summarize_trace",
+]

@@ -1,0 +1,190 @@
+"""The telemetry facade the serving frameworks call at the metric points.
+
+:class:`Telemetry` bundles a :class:`~repro.telemetry.registry
+.MetricsRegistry` and an optional :class:`~repro.telemetry.tracer
+.DecisionTracer` behind the four hooks every host fires (decision,
+dequeue, completion, expiration) plus the fail-open policy-error counter.
+Hosts accept ``telemetry=None`` and skip the calls entirely, so
+uninstrumented runs pay a single ``is None`` test per metric point.
+
+One ``Telemetry`` can serve a whole cluster: :meth:`scoped` returns a view
+sharing the registry and tracer but stamping a different ``host`` label
+(``broker-0``, ``shard-3``, …), which is how the LIquid cluster model
+attributes events to hosts.
+
+Bouncer evidence (``ewt_mean``, per-percentile ``ert_p``, the SLO targets,
+the cold-start flag) is captured on *sampled* decisions only: the
+percentile estimates ride along on the :class:`~repro.core.types
+.AdmissionResult` for free, and the wait estimate is recomputed from the
+live queue — a cost paid once per sampled query, not per query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.bouncer import BouncerPolicy
+from ..core.policy import AdmissionPolicy
+from ..core.starvation import _StarvationWrapper
+from ..core.types import AdmissionResult, Query
+from .registry import MetricsRegistry
+from .tracer import DecisionTracer, TraceEvent
+
+
+def _unwrap_bouncer(policy: Optional[AdmissionPolicy]
+                    ) -> Optional[BouncerPolicy]:
+    if isinstance(policy, _StarvationWrapper):
+        policy = policy.inner
+    return policy if isinstance(policy, BouncerPolicy) else None
+
+
+class Telemetry:
+    """Registry + optional tracer, stamped with this host's name.
+
+    Parameters
+    ----------
+    registry:
+        Shared metric registry; a fresh one is created when omitted.
+    tracer:
+        Optional decision tracer.  ``None`` keeps counters/histograms but
+        records no per-query events.
+    host:
+        Label stamped on every metric and event this view records.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[DecisionTracer] = None,
+                 host: str = "main") -> None:
+        self.registry = registry if registry is not None else (
+            MetricsRegistry())
+        self.tracer = tracer
+        self.host = host
+        reg = self.registry
+        self._accepted = reg.counter(
+            "accepted_total", "Queries admitted, by host and type.")
+        self._rejected = reg.counter(
+            "rejected_total",
+            "Queries rejected, by host, type, and reason.")
+        self._expired = reg.counter(
+            "expired_total",
+            "Admitted queries dropped in the queue past their deadline.")
+        self._policy_errors = reg.counter(
+            "policy_errors_total",
+            "Policy decide()/hook exceptions absorbed by fail-open hosts.")
+        self._queue_wait = reg.histogram(
+            "queue_wait_seconds", "Measured FIFO queue wait (Point 2).")
+        self._processing = reg.histogram(
+            "processing_seconds", "Measured processing time (Point 3).")
+        self._response = reg.histogram(
+            "response_seconds",
+            "Measured response time wt+pt (Point 3, paper Eq. 1).")
+        self._ewt_gauge = reg.gauge(
+            "bouncer_ewt_seconds",
+            "Bouncer's latest mean queue-wait estimate (Eq. 2).")
+        self._ert_gauge = reg.gauge(
+            "bouncer_ert_seconds",
+            "Bouncer's latest percentile response-time estimates "
+            "(Eqs. 3-4), by type and quantile.")
+
+    def scoped(self, host: str) -> "Telemetry":
+        """A view onto the same registry/tracer under another host label."""
+        return Telemetry(registry=self.registry, tracer=self.tracer,
+                         host=host)
+
+    # -- convenience readers (the runtime server's counter properties) ----
+    @property
+    def policy_error_count(self) -> int:
+        return int(self._policy_errors.labels(host=self.host).value)
+
+    @property
+    def expired_count(self) -> int:
+        return int(self._expired.labels(host=self.host).value)
+
+    def render(self) -> str:
+        """Exposition text for the shared registry."""
+        return self.registry.render()
+
+    # -- metric-point hooks ------------------------------------------------
+    def on_decision(self, query: Query, result: AdmissionResult,
+                    now: float, queue_length: int = 0,
+                    policy: Optional[AdmissionPolicy] = None) -> None:
+        """Point 1: an admission verdict was produced for ``query``."""
+        qtype = query.qtype
+        if result.accepted:
+            self._accepted.labels(host=self.host, qtype=qtype).inc()
+        else:
+            reason = result.reason.value if result.reason else "unknown"
+            self._rejected.labels(host=self.host, qtype=qtype,
+                                  reason=reason).inc()
+        if result.estimates:
+            for percentile, value in result.estimates.items():
+                self._ert_gauge.labels(host=self.host, qtype=qtype,
+                                       quantile=f"{percentile:g}"
+                                       ).set(value)
+        tracer = self.tracer
+        if tracer is None or not tracer.sampled(query.query_id):
+            return
+        event = TraceEvent(
+            event="decision", point=1, ts=now, query_id=query.query_id,
+            qtype=qtype, host=self.host, accepted=result.accepted,
+            reason=result.reason.value if result.reason else None,
+            overridden=result.overridden or None,
+            queue_length=queue_length,
+            ert={f"{p:g}": v for p, v in result.estimates.items()})
+        bouncer = _unwrap_bouncer(policy)
+        if bouncer is not None:
+            ewt = bouncer.estimate_wait_mean()
+            event.ewt_mean = ewt
+            self._ewt_gauge.labels(host=self.host).set(ewt)
+            snap = bouncer.processing_snapshot(qtype)
+            cold = snap.count < bouncer.config.min_samples
+            event.cold_start = cold
+            slo = (bouncer.slos.default if cold
+                   else bouncer.slos.for_type(qtype))
+            event.slo = {f"{p:g}": target for p, target in slo.items()}
+        tracer.record(event)
+
+    def on_dequeue(self, query: Query, now: float) -> None:
+        """Point 2: an engine process pulled ``query`` from the queue."""
+        wait = query.wait_time or 0.0
+        self._queue_wait.labels(host=self.host,
+                                qtype=query.qtype).observe(wait)
+        tracer = self.tracer
+        if tracer is None or not tracer.sampled(query.query_id):
+            return
+        tracer.record(TraceEvent(
+            event="dequeue", point=2, ts=now, query_id=query.query_id,
+            qtype=query.qtype, host=self.host, wait_time=wait))
+
+    def on_completion(self, query: Query, now: float) -> None:
+        """Point 3: ``query`` finished; its response is about to ship."""
+        qtype = query.qtype
+        processing = query.processing_time or 0.0
+        response = query.response_time or 0.0
+        self._processing.labels(host=self.host,
+                                qtype=qtype).observe(processing)
+        self._response.labels(host=self.host,
+                              qtype=qtype).observe(response)
+        tracer = self.tracer
+        if tracer is None or not tracer.sampled(query.query_id):
+            return
+        tracer.record(TraceEvent(
+            event="completion", point=3, ts=now,
+            query_id=query.query_id, qtype=qtype, host=self.host,
+            wait_time=query.wait_time, processing_time=processing,
+            response_time=response))
+
+    def on_expired(self, query: Query, now: float) -> None:
+        """An admitted query was dropped in the queue past its deadline."""
+        self._expired.labels(host=self.host).inc()
+        tracer = self.tracer
+        if tracer is None or not tracer.sampled(query.query_id):
+            return
+        tracer.record(TraceEvent(
+            event="expired", point=3, ts=now, query_id=query.query_id,
+            qtype=query.qtype, host=self.host,
+            wait_time=query.wait_time))
+
+    def on_policy_error(self) -> None:
+        """The host absorbed a policy exception (fail-open admission)."""
+        self._policy_errors.labels(host=self.host).inc()

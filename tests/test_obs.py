@@ -1,5 +1,8 @@
 """Tests for the metrics exposition module."""
 
+import re
+import threading
+
 from repro.core import (AcceptanceAllowancePolicy, AlwaysAcceptPolicy,
                         BouncerConfig, BouncerPolicy, HostContext,
                         LatencySLO, ManualClock, QueueView, SLORegistry)
@@ -79,3 +82,84 @@ class TestRenderMetrics:
         policy.decide(Query(qtype='we"ird\\type'))
         text = render_metrics(policy)
         assert '\\"' in text and "\\\\" in text
+
+    def test_newline_in_label_value_cannot_split_scrape(self):
+        # Regression: a raw newline in a label value used to split the
+        # sample line in two, corrupting the whole scrape body.  The
+        # text-format spec requires escaping it as the two characters \n.
+        policy = AlwaysAcceptPolicy()
+        policy.decide(Query(qtype='evil\ntype{injected="1"} 999'))
+        text = render_metrics(policy)
+        assert "\\n" in text
+        for line in text.splitlines():
+            assert line.startswith(("#", "repro_admission_")), line
+
+    def test_host_counters_rendered_when_supplied(self):
+        policy, clock, queue = make_bouncer()
+        text = render_metrics(policy, queue, policy_errors=3,
+                              expired_count=7)
+        assert "repro_admission_policy_errors_total 3" in text
+        assert "repro_admission_expired_total 7" in text
+
+    def test_host_counters_omitted_by_default(self):
+        policy, clock, queue = make_bouncer()
+        text = render_metrics(policy, queue)
+        assert "policy_errors_total" not in text
+        assert "expired_total" not in text
+
+
+class TestRenderMetricsConcurrent:
+    def test_counters_monotonic_under_concurrent_load(self):
+        """Scrapes taken mid-flight on a starvation-wrapped Bouncer must
+        parse and never show a counter going backwards."""
+        policy, clock, queue = make_bouncer()
+        for _ in range(50):
+            policy.on_completed(Query(qtype="slow"), 0.0, 0.030)
+            policy.on_completed(Query(qtype="fast"), 0.0, 0.002)
+        clock.advance(1.0)
+        wrapper = AcceptanceAllowancePolicy(policy, clock, allowance=0.05,
+                                            seed=3)
+        stop = threading.Event()
+        errors = []
+
+        def submit_and_complete():
+            while not stop.is_set():
+                for qtype in ("fast", "slow"):
+                    query = Query(qtype=qtype)
+                    result = wrapper.decide(query)
+                    if result.accepted:
+                        wrapper.on_completed(
+                            query, 0.0,
+                            0.002 if qtype == "fast" else 0.030)
+
+        counter_re = re.compile(
+            r"^(repro_admission_\w+_total(?:\{[^}]*\})?) (\d+)$")
+
+        def scrape_loop():
+            last = {}
+            for _ in range(200):
+                text = render_metrics(wrapper, queue)
+                for line in text.splitlines():
+                    match = counter_re.match(line)
+                    if not match:
+                        continue
+                    key, value = match.group(1), int(match.group(2))
+                    if value < last.get(key, 0):
+                        errors.append(
+                            f"{key} went {last[key]} -> {value}")
+                    last[key] = value
+
+        workers = [threading.Thread(target=submit_and_complete)
+                   for _ in range(3)]
+        for thread in workers:
+            thread.start()
+        try:
+            scrape_loop()
+        finally:
+            stop.set()
+            for thread in workers:
+                thread.join(timeout=5.0)
+        assert not errors, errors
+        final = render_metrics(wrapper, queue)
+        assert 'accepted_total{qtype="fast"}' in final
+        assert "overrides_total" in final

@@ -1,0 +1,149 @@
+"""Tests for the HTTP telemetry exposition (``/metrics``, ``/traces``)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import (AlwaysAcceptPolicy, BouncerConfig, BouncerPolicy,
+                        LatencySLO, SLORegistry)
+from repro.core.types import Query
+from repro.runtime import AdmissionServer
+from repro.telemetry import (DecisionTracer, Telemetry, TelemetryHTTPServer,
+                             parse_jsonl)
+from repro.telemetry.http import METRICS_CONTENT_TYPE
+
+
+def fetch(url, expect_status=200):
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, resp.headers.get("Content-Type"), \
+                resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers.get("Content-Type"), \
+            exc.read().decode("utf-8")
+
+
+class TestTelemetryHTTPServer:
+    def test_metrics_and_health_routes(self):
+        with TelemetryHTTPServer(metrics_fn=lambda: "m_total 1\n") as srv:
+            status, ctype, body = fetch(f"{srv.url}/metrics")
+            assert status == 200
+            assert ctype == METRICS_CONTENT_TYPE
+            assert body == "m_total 1\n"
+            status, _, body = fetch(f"{srv.url}/healthz")
+            assert status == 200 and body == "ok\n"
+
+    def test_unknown_route_is_404(self):
+        with TelemetryHTTPServer(metrics_fn=lambda: "") as srv:
+            status, _, body = fetch(f"{srv.url}/nope")
+            assert status == 404
+            assert "/metrics" in body
+
+    def test_traces_404_when_disabled(self):
+        with TelemetryHTTPServer(metrics_fn=lambda: "") as srv:
+            status, _, body = fetch(f"{srv.url}/traces")
+            assert status == 404
+            assert "not enabled" in body
+
+    def test_traces_limit_validation(self):
+        def traces(limit):
+            return f"limit={limit}\n"
+
+        with TelemetryHTTPServer(metrics_fn=lambda: "",
+                                 traces_fn=traces) as srv:
+            status, _, body = fetch(f"{srv.url}/traces?limit=3")
+            assert status == 200 and body == "limit=3\n"
+            status, _, body = fetch(f"{srv.url}/traces")
+            assert status == 200 and body == "limit=None\n"
+            status, _, body = fetch(f"{srv.url}/traces?limit=bogus")
+            assert status == 400
+            assert "bad limit" in body
+
+    def test_port_raises_when_not_running(self):
+        srv = TelemetryHTTPServer(metrics_fn=lambda: "")
+        with pytest.raises(RuntimeError):
+            srv.port
+        assert not srv.running
+
+    def test_start_is_idempotent_and_stop_releases(self):
+        srv = TelemetryHTTPServer(metrics_fn=lambda: "x\n")
+        assert srv.start() is srv.start()
+        port = srv.port
+        srv.stop()
+        srv.stop()  # idempotent
+        assert not srv.running
+        with pytest.raises((urllib.error.URLError, ConnectionError,
+                            OSError)):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=0.5)
+
+
+class TestAdmissionServerScrape:
+    def make_bouncer_server(self, telemetry=None):
+        def factory(ctx):
+            return BouncerPolicy(ctx, BouncerConfig(
+                slos=SLORegistry.uniform(
+                    LatencySLO.from_ms(p50=18, p90=50), ["edge"]),
+                min_samples=1, retain_min_samples=1, bootstrap_samples=0))
+
+        return AdmissionServer(factory, lambda q: "ok", workers=2,
+                               telemetry=telemetry)
+
+    def test_live_scrape_has_policy_and_telemetry_metrics(self):
+        telemetry = Telemetry(tracer=DecisionTracer(sample_rate=1.0),
+                              host="server")
+        with self.make_bouncer_server(telemetry) as server:
+            exposition = server.serve_telemetry()
+            for _ in range(10):
+                server.submit(Query(qtype="edge")).result(timeout=2.0)
+            status, _, body = fetch(f"{exposition.url}/metrics")
+            assert status == 200
+            # obs.py side: policy counters + operational counters.
+            assert 'repro_admission_accepted_total{qtype="edge"} 10' in body
+            assert "repro_admission_policy_errors_total 0" in body
+            assert "repro_admission_expired_total 0" in body
+            # telemetry side: the same decisions, host-attributed.
+            assert ('repro_telemetry_accepted_total{host="server",'
+                    'qtype="edge"} 10') in body
+            assert "repro_telemetry_queue_wait_seconds" in body
+            # Bouncer estimate gauges appear once estimates are live.
+            assert "repro_admission_estimated_wait_seconds" in body
+            assert "repro_telemetry_bouncer_ert_seconds" in body
+
+    def test_traces_endpoint_serves_jsonl(self):
+        telemetry = Telemetry(tracer=DecisionTracer(sample_rate=1.0))
+        with self.make_bouncer_server(telemetry) as server:
+            exposition = server.serve_telemetry()
+            for _ in range(5):
+                server.submit(Query(qtype="edge")).result(timeout=2.0)
+            status, _, body = fetch(f"{exposition.url}/traces")
+            assert status == 200
+            events = parse_jsonl(body)
+            assert {e.event for e in events} == {"decision", "dequeue",
+                                                 "completion"}
+            status, _, body = fetch(f"{exposition.url}/traces?limit=2")
+            assert len(body.strip().splitlines()) == 2
+            for line in body.strip().splitlines():
+                json.loads(line)  # each line is standalone JSON
+
+    def test_traces_404_without_tracer(self):
+        with self.make_bouncer_server() as server:  # registry-only default
+            exposition = server.serve_telemetry()
+            status, _, _ = fetch(f"{exposition.url}/traces")
+            assert status == 404
+
+    def test_serve_telemetry_is_cached_and_stopped_with_server(self):
+        server = AdmissionServer(lambda ctx: AlwaysAcceptPolicy(),
+                                 lambda q: "ok", workers=1)
+        server.start()
+        exposition = server.serve_telemetry()
+        assert server.serve_telemetry() is exposition
+        port = exposition.port
+        server.stop()
+        assert not exposition.running
+        with pytest.raises((urllib.error.URLError, ConnectionError,
+                            OSError)):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=0.5)
