@@ -1,11 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands:
+Five commands:
 
 * ``simulate`` — run the §5.3 single-host study for one policy across one
   or more load factors and print the per-type outcome table.
 * ``cluster``  — run the §5.4 broker/shard cluster model for one policy
   across one or more (scaled) rates.
+* ``chaos``    — run a named fault plan against one policy on the cluster
+  model and print SLO attainment under faults next to the fault-free
+  baseline (see ``docs/fault_injection.md``).
 * ``trace-report`` — summarize a JSONL decision trace (exported by the
   telemetry tracer or scraped from a host's ``/traces`` endpoint) into
   rejection-attribution and SLO-attainment tables.
@@ -22,9 +25,9 @@ from typing import Optional, Sequence
 
 from . import __version__
 from .bench import (CLUSTER_SCALE, cluster_config, cluster_policy_lineup,
-                    format_table, make_accept_fraction, make_bouncer,
-                    make_bouncer_aa, make_bouncer_hu, make_maxql,
-                    make_maxqwt, simulation_mix)
+                    cluster_slos, format_table, make_accept_fraction,
+                    make_bouncer, make_bouncer_aa, make_bouncer_hu,
+                    make_maxql, make_maxqwt, simulation_mix)
 from .core import (GatekeeperConfig, GatekeeperPolicy, QCopConfig,
                    QCopPolicy)
 from .exceptions import ReproError
@@ -52,6 +55,16 @@ CLUSTER_POLICIES = {
     "maxqwt": "MaxQWT",
     "accept-fraction": "AcceptFraction",
 }
+
+#: Broker policies runnable under ``repro chaos`` — the cluster line-up
+#: plus plain Bouncer (with the cluster SLOs).
+CHAOS_POLICIES = ("bouncer",) + tuple(CLUSTER_POLICIES)
+
+
+def _chaos_policy_factory(name: str):
+    if name == "bouncer":
+        return make_bouncer(slos=cluster_slos())
+    return dict(cluster_policy_lineup())[CLUSTER_POLICIES[name]]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +94,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated scaled cluster rates")
     cluster.add_argument("--queries", type=int, default=10_000)
     cluster.add_argument("--seed", type=int, default=5)
+
+    from .faults import NAMED_PLANS
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault plan against a policy (docs/fault_injection.md)")
+    chaos.add_argument("--plan", choices=sorted(NAMED_PLANS),
+                       default="shard-stall")
+    chaos.add_argument("--policy", choices=CHAOS_POLICIES,
+                       default="bouncer")
+    chaos.add_argument("--rate", type=float, default=9000.0,
+                       help="scaled cluster arrival rate (qps)")
+    chaos.add_argument("--queries", type=int, default=18_000)
+    chaos.add_argument("--warmup", type=int, default=2000)
+    chaos.add_argument("--seed", type=int, default=5,
+                       help="workload seed (both runs share it)")
+    chaos.add_argument("--plan-seed", type=int, default=7,
+                       help="fault plan RNG seed")
+    chaos.add_argument("--threshold-ms", type=float, default=50.0,
+                       help="SLO threshold for attainment (default: the "
+                            "paper's p90 objective)")
+    chaos.add_argument("--out", default=None,
+                       help="also write the report to this file")
 
     trace = sub.add_parser(
         "trace-report",
@@ -157,6 +193,25 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a named fault plan on the cluster model and print the report."""
+    from .faults import named_plan
+    from .faults.chaos import render_chaos_table, run_chaos
+
+    plan = named_plan(args.plan, seed=args.plan_seed)
+    result = run_chaos(plan, _chaos_policy_factory(args.policy),
+                       config=cluster_config(seed=args.seed),
+                       rate_qps=args.rate, num_queries=args.queries,
+                       warmup_queries=args.warmup, seed=args.seed,
+                       threshold=args.threshold_ms / 1000.0)
+    report = render_chaos_table(result)
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     """Summarize an exported decision trace into the §5-style tables."""
     from .telemetry import render_trace_report, summarize_trace
@@ -214,6 +269,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_simulate(args)
         if args.command == "cluster":
             return cmd_cluster(args)
+        if args.command == "chaos":
+            return cmd_chaos(args)
         if args.command == "trace-report":
             return cmd_trace_report(args)
         return cmd_info()

@@ -127,6 +127,9 @@ class RejectReason(enum.Enum):
     DOWNSTREAM = "downstream"
     #: Unconditional rejection (testing / drain mode).
     ADMINISTRATIVE = "administrative"
+    #: The query was refused by an injected fault (blackout, crash, or
+    #: queue drop from :mod:`repro.faults`), not by the admission policy.
+    FAULT_INJECTED = "fault_injected"
 
 
 @dataclass(frozen=True)

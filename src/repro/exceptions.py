@@ -40,6 +40,16 @@ class ShuttingDownError(ReproError):
     """A query was submitted to a runtime server that is shutting down."""
 
 
+class InjectedFaultError(ReproError):
+    """A query's execution was poisoned by an injected fault.
+
+    Raised into the caller's future by the runtime server (and modelled as
+    an errored completion by the simulated hosts) when an active
+    :class:`~repro.faults.plan.FaultKind.ERROR` fault fires.  It is a
+    *terminal verdict*: the query is accounted, never silently lost.
+    """
+
+
 class DeadlineExceededError(ReproError):
     """An admitted query expired before (or while) being processed.
 

@@ -1,0 +1,38 @@
+"""Seeded, deterministic fault injection and the resilience it demands.
+
+The paper studies admission control under overload with healthy engines;
+this package models the *unhealthy* regimes a production deployment must
+survive — stalled shards, dead replicas, latency spikes, lossy queues —
+and the client/broker-side machinery (timeouts, retries with backoff,
+hedging, graceful degradation) that keeps SLOs attainable through them.
+
+* :mod:`~repro.faults.plan` — the :class:`FaultPlan` schema and the named
+  plan library behind ``repro chaos --plan``.
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, the runtime that
+  hosts consult; all three serving frameworks accept one.
+* :mod:`~repro.faults.retry` — :class:`RetryPolicy`, capped exponential
+  backoff with jitter and deadline-aware early abort.
+* :mod:`~repro.faults.chaos` — the ``repro chaos`` runner: a named plan
+  against a policy, reported as SLO attainment under faults.
+"""
+
+from .injector import FaultInjector, InjectionRecord
+from .plan import (ADMISSION_KINDS, FOREVER, NAMED_PLANS, SERVICE_KINDS,
+                   STALL_KINDS, FaultKind, FaultPlan, FaultSpec, named_plan)
+from .retry import RetryConfig, RetryPolicy
+
+__all__ = [
+    "ADMISSION_KINDS",
+    "FOREVER",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionRecord",
+    "NAMED_PLANS",
+    "RetryConfig",
+    "RetryPolicy",
+    "SERVICE_KINDS",
+    "STALL_KINDS",
+    "named_plan",
+]

@@ -1,0 +1,135 @@
+"""Chaos harness: one fault plan vs. one policy, SLO attainment compared.
+
+:func:`run_chaos` runs the broker/shard cluster model twice from identical
+seeds — once fault-free, once with the given :class:`~repro.faults.FaultPlan`
+injected and broker-side resilience (retries, hedging, timeouts, graceful
+degradation) enabled — and reports per-type SLO attainment side by side.
+The interesting question a chaos run answers is *blast radius*: a fault
+pinned to one shard should cost the query types that depend on that shard,
+and nothing else.
+
+The ``repro chaos`` CLI command (see :mod:`repro.cli`) is a thin wrapper
+over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..liquid.cluster_sim import (ClusterConfig, ClusterReport,
+                                  PolicyFactory, ResilienceConfig,
+                                  run_cluster_simulation)
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+#: Default SLO threshold for attainment: the paper's p90 objective (50ms).
+DEFAULT_ATTAINMENT_THRESHOLD = 0.050
+
+
+@dataclass
+class ChaosResult:
+    """Paired fault-free / faulted cluster runs over the same workload."""
+
+    plan: FaultPlan
+    baseline: ClusterReport
+    faulted: ClusterReport
+    threshold: float
+    injector: FaultInjector
+
+    def attainment_delta(self) -> Dict[str, float]:
+        """Attainment loss per type in points (positive = worse under
+        faults), pooled under ``"ALL"``."""
+        out = {}
+        for qtype, base in self.baseline.attainment.items():
+            faulted = self.faulted.attainment.get(qtype, 0.0)
+            out[qtype] = 100.0 * (base - faulted)
+        return out
+
+
+def run_chaos(plan: FaultPlan, policy_factory: PolicyFactory,
+              config: Optional[ClusterConfig] = None,
+              rate_qps: float = 9000.0, num_queries: int = 18_000,
+              warmup_queries: int = 2000, seed: int = 5,
+              resilience: Optional[ResilienceConfig] = None,
+              threshold: float = DEFAULT_ATTAINMENT_THRESHOLD
+              ) -> ChaosResult:
+    """Run ``plan`` against ``policy_factory`` on the cluster model.
+
+    Both runs share the workload seed, so the arrival sequences are
+    identical and any attainment difference is attributable to the plan
+    (plus the resilience machinery absorbing it).  ``resilience`` defaults
+    to :class:`~repro.liquid.ResilienceConfig`'s stock knobs; pass
+    ``None``-disabling explicitly via a config with huge timeouts if a
+    no-resilience run is wanted.
+    """
+    if resilience is None:
+        resilience = ResilienceConfig()
+    baseline = run_cluster_simulation(
+        config if config is not None else _default_config(seed),
+        policy_factory, rate_qps=rate_qps, num_queries=num_queries,
+        warmup_queries=warmup_queries, seed=seed,
+        attainment_threshold=threshold)
+    injector = FaultInjector(plan)
+    faulted = run_cluster_simulation(
+        config if config is not None else _default_config(seed),
+        policy_factory, rate_qps=rate_qps, num_queries=num_queries,
+        warmup_queries=warmup_queries, seed=seed,
+        fault_injector=injector, resilience=resilience,
+        attainment_threshold=threshold)
+    return ChaosResult(plan=plan, baseline=baseline, faulted=faulted,
+                       threshold=threshold, injector=injector)
+
+
+def render_chaos_table(result: ChaosResult) -> str:
+    """The chaos report: per-type attainment side by side, then counters."""
+    from ..bench import format_table
+
+    deltas = result.attainment_delta()
+    rows: List[List[str]] = []
+    for qtype in sorted(result.baseline.attainment,
+                        key=_type_sort_key):
+        if qtype == "ALL":
+            continue
+        rows.append(_chaos_row(result, qtype, deltas))
+    rows.append(_chaos_row(result, "ALL", deltas))
+    table = format_table(
+        ["type", "slo base", "slo chaos", "delta (pts)", "rej chaos"],
+        rows,
+        title=(f"chaos: plan '{result.plan.name}' (seed {result.plan.seed})"
+               f" vs {result.faulted.policy_name}, SLO "
+               f"{result.threshold * 1000:.0f}ms"))
+    counters = (f"faults_injected={result.faulted.faults_injected}  "
+                f"retries={result.faulted.retries}  "
+                f"hedges={result.faulted.hedges}  "
+                f"degraded_responses={result.faulted.degraded}")
+    kinds = ", ".join(f"{kind}={count}" for kind, count
+                      in sorted(result.injector.counts.items()))
+    return "\n".join([table, "", result.plan.describe(), "",
+                      counters, f"injections by kind: {kinds or 'none'}"])
+
+
+def _chaos_row(result: ChaosResult, qtype: str,
+               deltas: Dict[str, float]) -> List[str]:
+    stats = (result.faulted.overall if qtype == "ALL"
+             else result.faulted.stats_for(qtype))
+    return [
+        qtype,
+        f"{result.baseline.attainment.get(qtype, 0.0):.1%}",
+        f"{result.faulted.attainment.get(qtype, 0.0):.1%}",
+        f"{deltas.get(qtype, 0.0):+.1f}",
+        f"{stats.rejection_pct:.2f}%",
+    ]
+
+
+def _type_sort_key(name: str):
+    # QT2 before QT10; non-QT names sort lexically after.
+    if name.startswith("QT") and name[2:].isdigit():
+        return (0, int(name[2:]), name)
+    return (1, 0, name)
+
+
+def _default_config(seed: int) -> ClusterConfig:
+    from ..bench import cluster_config
+
+    return cluster_config(seed=seed)

@@ -1,0 +1,263 @@
+"""Fault plans: the declarative schema of a chaos experiment.
+
+The paper evaluates admission control under *overload* but assumes healthy
+engines; production systems also see shards that stall, replicas that die,
+and processing times that spike (the degraded regimes of the self-*
+overload-control and bufferbloat literatures).  A :class:`FaultPlan` is a
+seeded, serializable description of such a regime: a set of
+:class:`FaultSpec` activation windows, each naming a fault *kind*, a target
+host pattern, an optional query-type scope, and a magnitude.
+
+Determinism is the design center.  A plan's *static schedule*
+(:meth:`FaultPlan.windows`) is a pure function of the plan, and the
+*realized* injections a :class:`~repro.faults.injector.FaultInjector`
+performs are a pure function of ``(plan.seed, the sequence of offered
+queries)`` — the same seed against the same workload reproduces the exact
+same injections, byte for byte, which is what lets chaos runs live in CI.
+
+All window times are **relative to the injector's arming instant** (the
+hosts arm at measurement start), in seconds.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+#: Window duration meaning "until the end of the run".
+FOREVER = float("inf")
+
+
+class FaultKind(enum.Enum):
+    """What a fault does to the component it targets."""
+
+    #: Add ``magnitude`` seconds to each affected service time (a network
+    #: or GC latency spike).
+    LATENCY_SPIKE = "latency_spike"
+    #: Multiply affected service times by ``magnitude`` (CPU contention,
+    #: degraded storage — the bufferbloat regime).
+    SLOWDOWN = "slowdown"
+    #: Freeze the target's engine processes for the window: no new
+    #: dispatches start until the window closes (a stop-the-world stall).
+    ENGINE_STALL = "engine_stall"
+    #: The target crashes for the window: arrivals are refused *and* its
+    #: engines stall (blackout + stall combined).
+    CRASH = "crash"
+    #: The target is unreachable for the window: every arrival is refused
+    #: with a fault verdict (a dead replica / partitioned shard).
+    BLACKOUT = "blackout"
+    #: Drop each matching arrival with probability ``probability`` (lossy
+    #: admission path, overflowing NIC queues).
+    QUEUE_DROP = "queue_drop"
+    #: The engine errors the query after doing the work, with probability
+    #: ``probability`` (poisoned data, flaky downstream dependency).
+    ERROR = "error"
+
+
+#: Kinds that veto a query at arrival (before the admission policy runs).
+ADMISSION_KINDS = (FaultKind.BLACKOUT, FaultKind.CRASH, FaultKind.QUEUE_DROP)
+#: Kinds that freeze the target's engines for their window.
+STALL_KINDS = (FaultKind.ENGINE_STALL, FaultKind.CRASH)
+#: Kinds that reshape an individual service time.
+SERVICE_KINDS = (FaultKind.SLOWDOWN, FaultKind.LATENCY_SPIKE)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault activation window.
+
+    Parameters
+    ----------
+    kind:
+        What happens (see :class:`FaultKind`).
+    start, duration:
+        Activation window, in seconds relative to the injector's arming
+        instant.  ``duration`` may be :data:`FOREVER`.
+    target:
+        Host selector, matched with :func:`fnmatch.fnmatchcase` against
+        host labels (``"sim"``, ``"runtime"``, ``"broker-0"``,
+        ``"shard-*"``, ``"*"``).
+    qtypes:
+        Query types the fault applies to; empty means all types.
+    magnitude:
+        Kind-specific intensity: seconds for LATENCY_SPIKE, a multiplier
+        for SLOWDOWN; ignored by the window/verdict kinds.
+    probability:
+        Per-query activation probability for QUEUE_DROP / ERROR (and an
+        optional thinning factor for LATENCY_SPIKE).  Draws come from the
+        plan-seeded per-spec RNG, in arrival order, so they are
+        reproducible.
+    """
+
+    kind: FaultKind
+    start: float = 0.0
+    duration: float = FOREVER
+    target: str = "*"
+    qtypes: Tuple[str, ...] = ()
+    magnitude: float = 1.0
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigurationError(
+                f"fault window start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"fault window duration must be > 0, got {self.duration}")
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in (0, 1], got {self.probability}")
+        if self.kind is FaultKind.SLOWDOWN and self.magnitude < 1.0:
+            raise ConfigurationError(
+                f"a slowdown multiplier must be >= 1, got {self.magnitude}")
+        if self.kind is FaultKind.LATENCY_SPIKE and self.magnitude <= 0:
+            raise ConfigurationError(
+                f"a latency spike needs a positive magnitude, "
+                f"got {self.magnitude}")
+        object.__setattr__(self, "qtypes", tuple(self.qtypes))
+
+    @property
+    def end(self) -> float:
+        """Window close instant (relative seconds; may be ``inf``)."""
+        return self.start + self.duration
+
+    def active_at(self, rel_now: float) -> bool:
+        """True when the window covers ``rel_now`` (relative seconds)."""
+        return self.start <= rel_now < self.end
+
+    def matches(self, host: str, qtype: Optional[str]) -> bool:
+        """True when this spec applies to ``host`` / ``qtype``."""
+        if not fnmatchcase(host, self.target):
+            return False
+        return not self.qtypes or qtype is None or qtype in self.qtypes
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of fault windows — one chaos experiment.
+
+    The ``seed`` drives every probabilistic draw the plan's injector makes;
+    two injectors built from equal plans realize identical injections when
+    offered the same query sequence.
+    """
+
+    name: str
+    seed: int
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a fault plan needs a name")
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def windows(self) -> List[Dict[str, object]]:
+        """The static injection schedule: one dict per spec, sorted.
+
+        A pure function of the plan (no RNG involved), used by tests to
+        assert that equal plans produce byte-identical schedules.
+        """
+        rows = [{
+            "kind": spec.kind.value,
+            "target": spec.target,
+            "qtypes": list(spec.qtypes),
+            "start": spec.start,
+            "end": spec.end,
+            "magnitude": spec.magnitude,
+            "probability": spec.probability,
+        } for spec in self.specs]
+        rows.sort(key=lambda r: (r["start"], r["kind"], r["target"]))
+        return rows
+
+    def to_json(self) -> str:
+        """Canonical JSON form of the plan (schedule + identity)."""
+        return json.dumps({"name": self.name, "seed": self.seed,
+                           "windows": self.windows()}, sort_keys=True)
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-window summary."""
+        lines = [f"fault plan {self.name!r} (seed {self.seed}):"]
+        for win in self.windows():
+            scope = ",".join(win["qtypes"]) or "all types"
+            end = ("end-of-run" if win["end"] == FOREVER
+                   else f"{win['end']:.3f}s")
+            lines.append(
+                f"  {win['kind']:<14} target={win['target']:<10} "
+                f"[{win['start']:.3f}s .. {end}]  "
+                f"magnitude={win['magnitude']:g} "
+                f"p={win['probability']:g}  ({scope})")
+        return "\n".join(lines)
+
+
+# -- named plan library ------------------------------------------------------
+
+def _shard_stall(seed: int) -> FaultPlan:
+    """Shard 0 stalls for 300ms, then blacks out for 150ms (crash-restart).
+
+    The stall exercises hedging (sub-queries parked on the frozen shard are
+    hedged to healthy ones); the blackout exercises rejection-driven
+    retries and degraded fan-out responses.
+    """
+    return FaultPlan("shard-stall", seed, (
+        FaultSpec(FaultKind.ENGINE_STALL, start=0.10, duration=0.30,
+                  target="shard-0"),
+        FaultSpec(FaultKind.BLACKOUT, start=0.40, duration=0.15,
+                  target="shard-0"),
+    ))
+
+
+def _shard_blackout(seed: int) -> FaultPlan:
+    """Shard 1 refuses everything for 250ms (a dead replica)."""
+    return FaultPlan("shard-blackout", seed, (
+        FaultSpec(FaultKind.BLACKOUT, start=0.15, duration=0.25,
+                  target="shard-1"),
+    ))
+
+
+def _latency_spike(seed: int) -> FaultPlan:
+    """A 5ms service-time spike hits 30% of work everywhere for 300ms."""
+    return FaultPlan("latency-spike", seed, (
+        FaultSpec(FaultKind.LATENCY_SPIKE, start=0.10, duration=0.30,
+                  target="*", magnitude=0.005, probability=0.30),
+    ))
+
+
+def _broker_slowdown(seed: int) -> FaultPlan:
+    """Broker 0's merge work runs 3x slower for 300ms (hot neighbor)."""
+    return FaultPlan("broker-slowdown", seed, (
+        FaultSpec(FaultKind.SLOWDOWN, start=0.10, duration=0.30,
+                  target="broker-0", magnitude=3.0),
+    ))
+
+
+def _queue_drop(seed: int) -> FaultPlan:
+    """20% of arrivals are dropped at every host for 300ms."""
+    return FaultPlan("queue-drop", seed, (
+        FaultSpec(FaultKind.QUEUE_DROP, start=0.10, duration=0.30,
+                  target="*", probability=0.20),
+    ))
+
+
+#: Named plan factories, keyed by the ``repro chaos --plan`` argument.
+NAMED_PLANS = {
+    "shard-stall": _shard_stall,
+    "shard-blackout": _shard_blackout,
+    "latency-spike": _latency_spike,
+    "broker-slowdown": _broker_slowdown,
+    "queue-drop": _queue_drop,
+}
+
+
+def named_plan(name: str, seed: int = 7) -> FaultPlan:
+    """Build one of the library plans (:data:`NAMED_PLANS`) by name."""
+    try:
+        factory = NAMED_PLANS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault plan {name!r}; known plans: "
+            f"{', '.join(sorted(NAMED_PLANS))}") from None
+    return factory(seed)

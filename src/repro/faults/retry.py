@@ -1,0 +1,107 @@
+"""Client-side resilience: capped exponential backoff with jitter.
+
+The fault-injection subsystem makes components misbehave; this module is
+the client half that keeps the system's promises anyway.  A
+:class:`RetryPolicy` turns a retry ordinal into a delay (or a refusal):
+
+* delays grow geometrically from ``base_delay`` by ``multiplier``, capped
+  at ``max_delay`` — the classic capped exponential backoff;
+* full-jitter-style noise of ``+/- jitter`` (a fraction of the raw delay)
+  desynchronizes retrying clients, drawn from a seeded RNG so test runs
+  are reproducible;
+* the policy is **deadline-aware**: a retry whose backoff would land past
+  the query's SLO deadline is refused outright — retrying a query that
+  cannot possibly answer in time only adds load to a system that is
+  already hurting;
+* budget exhaustion is signalled by returning ``None``, never by raising —
+  callers surface it as a *rejection* (the paper's early-rejection
+  contract) rather than an exception blast.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Shape of a capped exponential backoff schedule.
+
+    ``max_retries`` counts retries, not attempts: 3 means one initial try
+    plus up to three more.  ``jitter`` is the symmetric noise fraction —
+    0.2 means each delay is drawn uniformly from ``[0.8d, 1.2d]``.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.100
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay <= 0:
+            raise ConfigurationError(
+                f"base_delay must be > 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}")
+
+
+class RetryPolicy:
+    """Seeded, deadline-aware backoff delays for one client.
+
+    Not shared between threads without external locking (each client owns
+    one, like it owns its RNG).
+    """
+
+    def __init__(self, config: Optional[RetryConfig] = None,
+                 seed: Optional[int] = None) -> None:
+        self.config = config if config is not None else RetryConfig()
+        self._rng = random.Random(seed)
+
+    def raw_delay(self, retry: int) -> Optional[float]:
+        """Unjittered delay before retry number ``retry`` (0-based), or
+        ``None`` once the retry budget is spent."""
+        cfg = self.config
+        if retry < 0 or retry >= cfg.max_retries:
+            return None
+        return min(cfg.base_delay * cfg.multiplier ** retry, cfg.max_delay)
+
+    def schedule(self) -> List[float]:
+        """The full unjittered backoff schedule (for docs and tests)."""
+        return [self.raw_delay(i)  # type: ignore[misc]
+                for i in range(self.config.max_retries)]
+
+    def backoff(self, retry: int, now: Optional[float] = None,
+                deadline: Optional[float] = None) -> Optional[float]:
+        """Jittered delay before retry ``retry``, or ``None`` to give up.
+
+        ``None`` means either the budget is exhausted or — when ``now``
+        and ``deadline`` are given — the delay alone would push the next
+        attempt past the deadline (the early abort: never retry a query
+        beyond its SLO deadline).
+        """
+        raw = self.raw_delay(retry)
+        if raw is None:
+            return None
+        jitter = self.config.jitter
+        delay = raw if jitter == 0.0 else (
+            raw * (1.0 + jitter * (2.0 * self._rng.random() - 1.0)))
+        if (deadline is not None and now is not None
+                and now + delay >= deadline):
+            return None
+        return delay

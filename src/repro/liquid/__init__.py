@@ -11,7 +11,8 @@ Two complementary pieces:
 
 from .cluster_sim import (FANOUT_ALL, FANOUT_ONE, BrokerHost, ClusterConfig,
                           ClusterMetrics, ClusterReport, LiquidClusterSim,
-                          QueryTypeCost, ShardHost, run_cluster_simulation)
+                          QueryTypeCost, ResilienceConfig, ShardHost,
+                          run_cluster_simulation)
 from .engine import ShardEngine
 from .partition import HashPartitioner, stable_hash
 from .query import (CountQuery, DistanceQuery, EdgeQuery, FanoutQuery,
@@ -47,6 +48,7 @@ __all__ = [
     "PathQuery",
     "QueryResult",
     "QueryTypeCost",
+    "ResilienceConfig",
     "Rule",
     "RuleEngine",
     "ShardConsumer",

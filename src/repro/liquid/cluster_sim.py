@@ -31,13 +31,14 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
                     Sequence, Tuple)
 
 from collections import deque
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.telemetry
+    from ..faults import FaultInjector
     from ..telemetry import Telemetry
 
 from .._stats import mean, percentiles
@@ -174,11 +175,59 @@ class ClusterConfig:
         return capacity / self.weighted_shard_work()
 
 
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Broker-side resilience knobs for sub-query failures (chaos runs).
+
+    Without a resilience config the broker keeps the paper's baseline
+    behaviour: any refused sub-query fails the whole query (a ``DOWNSTREAM``
+    rejection).  With one, the broker absorbs transient shard faults:
+
+    timeouts
+        A physical sub-query attempt unanswered after ``subquery_timeout``
+        seconds is treated as failed (retry/degrade path) and its eventual
+        response is ignored.  This is what keeps a stalled shard from
+        pinning broker engine processes for the whole stall — the engine
+        gives up, degrades or fails fast, and recycles.
+    retries
+        A refused, errored, or timed-out sub-query is re-issued up to
+        ``max_subquery_retries`` times after a short linear backoff
+        (``retry_backoff * attempt``).  Single-shard (``fanout='one'``)
+        sub-queries fail over to a *different* shard — the replica path —
+        while fan-out-to-all sub-queries must re-ask the same shard (its
+        partition lives nowhere else).
+    hedging
+        A ``fanout='one'`` sub-query still unresolved ``hedge_after``
+        seconds after issue is duplicated to another shard; the first
+        response wins and the loser is ignored (settle-once).
+    graceful degradation
+        When ``degraded_ok`` is set, a fan-out-to-all round that lost some
+        shards but heard from at least one completes with partial results
+        instead of failing — the §2 "alternative results" fallback.
+    """
+
+    max_subquery_retries: int = 1
+    retry_backoff: float = 0.002
+    hedge_after: Optional[float] = 0.008
+    degraded_ok: bool = True
+    subquery_timeout: Optional[float] = 0.010
+
+    def __post_init__(self) -> None:
+        if self.max_subquery_retries < 0:
+            raise ConfigurationError("max_subquery_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")
+        if self.hedge_after is not None and self.hedge_after <= 0:
+            raise ConfigurationError("hedge_after must be > 0")
+        if self.subquery_timeout is not None and self.subquery_timeout <= 0:
+            raise ConfigurationError("subquery_timeout must be > 0")
+
+
 class _QueryExecution:
     """Per-query state while a broker engine process walks its rounds."""
 
     __slots__ = ("query", "cost", "broker", "rounds_left", "pending",
-                 "failed")
+                 "failed", "degraded", "round_successes")
 
     def __init__(self, query: Query, cost: QueryTypeCost,
                  broker: "BrokerHost") -> None:
@@ -188,6 +237,32 @@ class _QueryExecution:
         self.rounds_left = cost.rounds
         self.pending = 0
         self.failed = False
+        self.degraded = False
+        self.round_successes = 0
+
+
+class _SubQuery:
+    """One *logical* sub-query: settles exactly once despite retries/hedges.
+
+    Physical attempts (the original issue, backed-off retries, a hedge)
+    all report through :meth:`BrokerHost._on_sub_outcome`; the first
+    success — or the last failure once the retry budget and every
+    in-flight attempt are spent — settles the logical sub-query toward
+    its round.  Late responses from the losing attempt are ignored.
+    """
+
+    __slots__ = ("execution", "cost", "primary", "settled", "hedged",
+                 "outstanding", "retries_used")
+
+    def __init__(self, execution: _QueryExecution,
+                 primary: int) -> None:
+        self.execution = execution
+        self.cost = execution.cost
+        self.primary = primary
+        self.settled = False
+        self.hedged = False
+        self.outstanding = 0
+        self.retries_used = 0
 
 
 class ShardHost:
@@ -195,12 +270,16 @@ class ShardHost:
 
     def __init__(self, sim: Simulator, config: ClusterConfig,
                  index: int, rng: random.Random,
-                 telemetry: Optional["Telemetry"] = None) -> None:
+                 telemetry: Optional["Telemetry"] = None,
+                 fault_injector: Optional["FaultInjector"] = None) -> None:
         self._sim = sim
         self._config = config
         self.index = index
         self._rng = rng
         self._telemetry = telemetry
+        self._faults = fault_injector
+        self._host = f"shard-{index}"
+        self._stall_wakeup_at: Optional[float] = None
         self.queue_view = QueueView()
         self.ctx = HostContext(clock=sim.clock, queue=self.queue_view,
                                parallelism=config.shard_processes)
@@ -219,6 +298,7 @@ class ShardHost:
         self._idle = config.shard_processes
         self.rejected_subqueries = 0
         self.completed_subqueries = 0
+        self.errored_subqueries = 0
 
     def offer(self, parent: Query, service_time: float,
               callback: Callable[[bool], None]) -> bool:
@@ -231,6 +311,21 @@ class ShardHost:
         now = self._sim.now
         subquery = Query(qtype=parent.qtype, arrival_time=now,
                          deadline=parent.deadline)
+        if self._faults is not None:
+            # A blacked-out/crashed/lossy shard refuses before its policy
+            # runs; the broker sees the failure immediately and may retry
+            # elsewhere (the resilience path).
+            override = self._faults.admission_override(subquery, now,
+                                                       self._host)
+            if override is not None:
+                if self._telemetry is not None:
+                    self._telemetry.on_decision(
+                        subquery, override, now=now,
+                        queue_length=self.queue_view.length(),
+                        policy=self.policy)
+                self.rejected_subqueries += 1
+                callback(False)
+                return False
         if self.queue_view.length() >= self._config.queue_cap:
             result = AdmissionResult.reject(RejectReason.QUEUE_FULL)
             self.policy.stats.record(subquery.qtype, result)
@@ -253,6 +348,18 @@ class ShardHost:
 
     def _dispatch(self) -> None:
         while self._idle > 0 and self._queue:
+            if self._faults is not None:
+                stall_end = self._faults.stalled_until(self._sim.now,
+                                                       self._host)
+                if stall_end is not None:
+                    # Engines frozen: defer dispatch until the stall window
+                    # closes (one wake-up per window end, not per arrival).
+                    if self._stall_wakeup_at != stall_end:
+                        self._stall_wakeup_at = stall_end
+                        self._faults.note_stall(self._sim.now, self._host)
+                        self._sim.schedule_at(stall_end,
+                                              self._resume_after_stall)
+                    return
             subquery, service_time, callback = self._queue.popleft()
             now = self._sim.now
             subquery.dequeued_at = now
@@ -266,20 +373,37 @@ class ShardHost:
             slowdown = 1.0 + (self._config.shard_slowdown_gamma
                               * busy_fraction
                               ** self._config.shard_slowdown_power)
+            service = service_time * slowdown
+            errored = False
+            if self._faults is not None:
+                service = self._faults.shape_service(service, subquery,
+                                                     now, self._host)
+                errored = self._faults.should_error(subquery, now,
+                                                    self._host)
             self._sim.schedule_after(
-                service_time * slowdown,
-                lambda s=subquery, cb=callback: self._complete(s, cb))
+                service,
+                lambda s=subquery, cb=callback, e=errored:
+                    self._complete(s, cb, e))
 
-    def _complete(self, subquery: Query,
-                  callback: Callable[[bool], None]) -> None:
+    def _resume_after_stall(self) -> None:
+        self._stall_wakeup_at = None
+        self._dispatch()
+
+    def _complete(self, subquery: Query, callback: Callable[[bool], None],
+                  errored: bool = False) -> None:
         subquery.completed_at = self._sim.now
         self.policy.on_completed(subquery, subquery.wait_time or 0.0,
                                  subquery.processing_time or 0.0)
         if self._telemetry is not None:
             self._telemetry.on_completion(subquery, now=self._sim.now)
-        self.completed_subqueries += 1
+        if errored:
+            # Injected engine fault: work was done, response is an error —
+            # the broker treats it like a refusal (retry/degrade path).
+            self.errored_subqueries += 1
+        else:
+            self.completed_subqueries += 1
         self._idle += 1
-        callback(True)
+        callback(not errored)
         self._dispatch()
 
 
@@ -289,7 +413,9 @@ class BrokerHost:
     def __init__(self, sim: Simulator, config: ClusterConfig, index: int,
                  policy_factory: PolicyFactory, shards: List[ShardHost],
                  metrics: "ClusterMetrics", rng: random.Random,
-                 telemetry: Optional["Telemetry"] = None) -> None:
+                 telemetry: Optional["Telemetry"] = None,
+                 fault_injector: Optional["FaultInjector"] = None,
+                 resilience: Optional[ResilienceConfig] = None) -> None:
         self._sim = sim
         self._config = config
         self.index = index
@@ -297,6 +423,10 @@ class BrokerHost:
         self._metrics = metrics
         self._rng = rng
         self._telemetry = telemetry
+        self._faults = fault_injector
+        self._resilience = resilience
+        self._host = f"broker-{index}"
+        self._stall_wakeup_at: Optional[float] = None
         self.queue_view = QueueView()
         self.ctx = HostContext(clock=sim.clock, queue=self.queue_view,
                                parallelism=config.broker_processes)
@@ -308,6 +438,17 @@ class BrokerHost:
         """Present an arriving query to this broker's admission policy."""
         now = self._sim.now
         query.arrival_time = now
+        if self._faults is not None:
+            override = self._faults.admission_override(query, now,
+                                                       self._host)
+            if override is not None:
+                if self._telemetry is not None:
+                    self._telemetry.on_decision(
+                        query, override, now=now,
+                        queue_length=self.queue_view.length(),
+                        policy=self.policy)
+                self._metrics.record_rejection(query.qtype, at_broker=True)
+                return
         if self.queue_view.length() >= self._config.queue_cap:
             result = AdmissionResult.reject(RejectReason.QUEUE_FULL)
             self.policy.stats.record(query.qtype, result)
@@ -328,6 +469,16 @@ class BrokerHost:
 
     def _dispatch(self) -> None:
         while self._idle > 0 and self._queue:
+            if self._faults is not None:
+                stall_end = self._faults.stalled_until(self._sim.now,
+                                                       self._host)
+                if stall_end is not None:
+                    if self._stall_wakeup_at != stall_end:
+                        self._stall_wakeup_at = stall_end
+                        self._faults.note_stall(self._sim.now, self._host)
+                        self._sim.schedule_at(stall_end,
+                                              self._resume_after_stall)
+                    return
             query = self._queue.popleft()
             query.dequeued_at = self._sim.now
             self.queue_view.on_dequeue(query.qtype)
@@ -339,24 +490,112 @@ class BrokerHost:
                 query.qtype), self)
             self._start_round(execution)
 
+    def _resume_after_stall(self) -> None:
+        self._stall_wakeup_at = None
+        self._dispatch()
+
     # -- round protocol -----------------------------------------------------
     def _target_shards(self, cost: QueryTypeCost) -> List[ShardHost]:
         if cost.fanout == FANOUT_ALL:
             return self._shards
         return [self._shards[self._rng.randrange(len(self._shards))]]
 
+    def _alternate_shard(self, avoid_index: int) -> ShardHost:
+        choices = [s for s in self._shards if s.index != avoid_index]
+        return choices[self._rng.randrange(len(choices))]
+
     def _start_round(self, execution: _QueryExecution) -> None:
         targets = self._target_shards(execution.cost)
         execution.pending = len(targets)
+        execution.round_successes = 0
+        res = self._resilience
+        hedgeable = (res is not None and res.hedge_after is not None
+                     and execution.cost.fanout == FANOUT_ONE
+                     and len(self._shards) > 1)
         for shard in targets:
-            service = execution.cost.sample_subquery(self._rng)
-            shard.offer(execution.query, service,
-                        lambda ok, e=execution: self._on_shard_response(e, ok))
+            sub = _SubQuery(execution, shard.index)
+            self._launch(sub, shard)
+            if hedgeable:
+                self._sim.schedule_after(
+                    res.hedge_after, lambda s=sub: self._fire_hedge(s))
 
-    def _on_shard_response(self, execution: _QueryExecution,
-                           ok: bool) -> None:
-        if not ok:
+    def _launch(self, sub: _SubQuery, shard: ShardHost,
+                delay: float = 0.0) -> None:
+        """Start one physical attempt (now, or after a retry backoff)."""
+        sub.outstanding += 1
+        if delay > 0.0:
+            self._sim.schedule_after(
+                delay, lambda: self._issue_now(sub, shard))
+        else:
+            self._issue_now(sub, shard)
+
+    def _issue_now(self, sub: _SubQuery, shard: ShardHost) -> None:
+        if sub.settled:
+            # A hedge won while this retry was backing off.
+            sub.outstanding -= 1
+            return
+        service = sub.cost.sample_subquery(self._rng)
+        res = self._resilience
+        # Per-attempt settle: the first of {shard response, timeout} wins;
+        # the loser is ignored, so a stalled shard's eventual answer cannot
+        # double-count against the sub-query's bookkeeping.
+        attempt_done = [False]
+
+        def on_outcome(ok: bool) -> None:
+            if attempt_done[0]:
+                return
+            attempt_done[0] = True
+            self._on_sub_outcome(sub, ok)
+
+        shard.offer(sub.execution.query, service, on_outcome)
+        if (not attempt_done[0] and not sub.settled
+                and res is not None and res.subquery_timeout is not None):
+            self._sim.schedule_after(res.subquery_timeout,
+                                     lambda: on_outcome(False))
+
+    def _fire_hedge(self, sub: _SubQuery) -> None:
+        if sub.settled or sub.hedged:
+            return
+        sub.hedged = True
+        self._metrics.hedges += 1
+        if self._telemetry is not None:
+            self._telemetry.on_hedge()
+        self._launch(sub, self._alternate_shard(sub.primary))
+
+    def _on_sub_outcome(self, sub: _SubQuery, ok: bool) -> None:
+        sub.outstanding -= 1
+        if sub.settled:
+            return  # another attempt already settled this sub-query
+        if ok:
+            sub.settled = True
+            self._settle_sub(sub.execution, failed=False)
+            return
+        res = self._resilience
+        if res is not None and sub.retries_used < res.max_subquery_retries:
+            # Retry after a short backoff.  fanout='one' fails over to a
+            # different shard (any replica can answer); fanout='all' must
+            # re-ask the same shard — its partition lives nowhere else.
+            sub.retries_used += 1
+            self._metrics.retries += 1
+            if self._telemetry is not None:
+                self._telemetry.on_retry()
+            if sub.cost.fanout == FANOUT_ONE and len(self._shards) > 1:
+                shard = self._alternate_shard(sub.primary)
+            else:
+                shard = self._shards[sub.primary]
+            self._launch(sub, shard,
+                         delay=res.retry_backoff * sub.retries_used)
+            return
+        if sub.outstanding > 0:
+            return  # a hedge (or backed-off retry) is still in flight
+        sub.settled = True
+        self._settle_sub(sub.execution, failed=True)
+
+    def _settle_sub(self, execution: _QueryExecution, failed: bool) -> None:
+        if failed:
             execution.failed = True
+        else:
+            execution.round_successes += 1
         execution.pending -= 1
         if execution.pending > 0:
             return
@@ -367,12 +606,28 @@ class BrokerHost:
         slowdown = 1.0 + (self._config.broker_slowdown_gamma
                           * busy_fraction
                           ** self._config.broker_slowdown_power)
-        self._sim.schedule_after(execution.cost.broker_overhead * slowdown,
+        overhead = execution.cost.broker_overhead * slowdown
+        if self._faults is not None:
+            overhead = self._faults.shape_service(
+                overhead, execution.query, self._sim.now, self._host)
+        self._sim.schedule_after(overhead,
                                  lambda: self._after_merge(execution))
 
     def _after_merge(self, execution: _QueryExecution) -> None:
         execution.rounds_left -= 1
-        if execution.failed or execution.rounds_left == 0:
+        if execution.failed:
+            res = self._resilience
+            if (res is not None and res.degraded_ok
+                    and execution.cost.fanout == FANOUT_ALL
+                    and execution.round_successes > 0):
+                # Partial fan-out: serve from the shards that answered
+                # rather than failing the query outright.
+                execution.failed = False
+                execution.degraded = True
+            else:
+                self._finish(execution)
+                return
+        if execution.rounds_left == 0:
             self._finish(execution)
         else:
             self._start_round(execution)
@@ -388,6 +643,10 @@ class BrokerHost:
         else:
             self.policy.on_completed(query, query.wait_time or 0.0,
                                      query.processing_time or 0.0)
+            if execution.degraded:
+                self._metrics.degraded += 1
+                if self._telemetry is not None:
+                    self._telemetry.on_degraded()
             self._metrics.record_completion(query)
             if self._telemetry is not None:
                 self._telemetry.on_completion(query, now=self._sim.now)
@@ -403,6 +662,11 @@ class ClusterMetrics:
         self.broker_rejections: Dict[str, int] = {}
         self.shard_rejections: Dict[str, int] = {}
         self.measure_start = 0.0
+        #: Resilience counters (sub-query retries, hedges, and queries
+        #: completed with partial fan-out results).
+        self.retries = 0
+        self.hedges = 0
+        self.degraded = 0
 
     def record_completion(self, query: Query) -> None:
         if query.arrival_time < self.measure_start:
@@ -425,6 +689,23 @@ class ClusterMetrics:
         self.broker_rejections.clear()
         self.shard_rejections.clear()
         self.measure_start = now
+        self.retries = 0
+        self.hedges = 0
+        self.degraded = 0
+
+    def attainment(self, threshold: float) -> Dict[str, float]:
+        """Fraction of completed responses at or under ``threshold``,
+        per type plus pooled under ``"ALL"`` (empty types report 0)."""
+        out: Dict[str, float] = {}
+        total = 0
+        within = 0
+        for qtype, responses in sorted(self.responses.items()):
+            hits = sum(1 for r in responses if r <= threshold)
+            out[qtype] = hits / len(responses) if responses else 0.0
+            total += len(responses)
+            within += hits
+        out["ALL"] = within / total if total else 0.0
+        return out
 
     def build_type_stats(self) -> Dict[str, TypeStats]:
         stats: Dict[str, TypeStats] = {}
@@ -479,6 +760,14 @@ class ClusterReport:
     broker_rejections: int = 0
     shard_rejections: int = 0
     seed: Optional[int] = None
+    #: Resilience accounting (nonzero only in fault-injected runs).
+    retries: int = 0
+    hedges: int = 0
+    degraded: int = 0
+    faults_injected: int = 0
+    #: Per-type (plus ``"ALL"``) fraction of completed responses within
+    #: the run's ``attainment_threshold``; empty when none was given.
+    attainment: Dict[str, float] = field(default_factory=dict)
 
     def stats_for(self, qtype: Optional[str] = None) -> TypeStats:
         if qtype is None:
@@ -500,24 +789,30 @@ class LiquidClusterSim:
 
     def __init__(self, sim: Simulator, config: ClusterConfig,
                  broker_policy_factory: PolicyFactory,
-                 telemetry: Optional["Telemetry"] = None) -> None:
+                 telemetry: Optional["Telemetry"] = None,
+                 fault_injector: Optional["FaultInjector"] = None,
+                 resilience: Optional[ResilienceConfig] = None) -> None:
         self._sim = sim
         self.config = config
         self.metrics = ClusterMetrics()
         self.telemetry = telemetry
+        self.fault_injector = fault_injector
         root_rng = random.Random(config.seed)
         # Each host records through a scoped view stamping its own host
         # label ("shard-0", "broker-2", ...) into the shared registry.
         self.shards = [ShardHost(sim, config, i,
                                  random.Random(root_rng.randrange(2 ** 32)),
                                  telemetry=(telemetry.scoped(f"shard-{i}")
-                                            if telemetry else None))
+                                            if telemetry else None),
+                                 fault_injector=fault_injector)
                        for i in range(config.num_shards)]
         self.brokers = [BrokerHost(sim, config, i, broker_policy_factory,
                                    self.shards, self.metrics,
                                    random.Random(root_rng.randrange(2 ** 32)),
                                    telemetry=(telemetry.scoped(f"broker-{i}")
-                                              if telemetry else None))
+                                              if telemetry else None),
+                                   fault_injector=fault_injector,
+                                   resilience=resilience)
                         for i in range(config.num_brokers)]
         self._next_broker = 0
 
@@ -535,6 +830,7 @@ class LiquidClusterSim:
             shard.policy.reset_stats()
             shard.rejected_subqueries = 0
             shard.completed_subqueries = 0
+            shard.errored_subqueries = 0
 
 
 def run_cluster_simulation(config: ClusterConfig,
@@ -542,7 +838,10 @@ def run_cluster_simulation(config: ClusterConfig,
                            rate_qps: float, num_queries: int,
                            warmup_queries: Optional[int] = None,
                            seed: int = 1,
-                           telemetry: Optional["Telemetry"] = None
+                           telemetry: Optional["Telemetry"] = None,
+                           fault_injector: Optional["FaultInjector"] = None,
+                           resilience: Optional[ResilienceConfig] = None,
+                           attainment_threshold: Optional[float] = None
                            ) -> ClusterReport:
     """Drive the simulated cluster at ``rate_qps`` and report outcomes.
 
@@ -550,7 +849,11 @@ def run_cluster_simulation(config: ClusterConfig,
     pre-drawn types, a warm-up phase excluded from measurement, then
     ``num_queries`` measured arrivals and a full drain.  ``telemetry``
     (optional) receives per-host counters and decision traces from every
-    broker and shard.
+    broker and shard.  ``fault_injector`` (armed at measurement start, so
+    plan windows are relative to the measured phase) injects faults at the
+    hosts its plan targets; ``resilience`` turns on broker-side retry /
+    hedging / graceful degradation; ``attainment_threshold`` additionally
+    reports the fraction of completed responses within that many seconds.
     """
     if num_queries < 1:
         raise ConfigurationError("num_queries must be >= 1")
@@ -562,7 +865,9 @@ def run_cluster_simulation(config: ClusterConfig,
 
     sim = Simulator()
     cluster = LiquidClusterSim(sim, config, broker_policy_factory,
-                               telemetry=telemetry)
+                               telemetry=telemetry,
+                               fault_injector=fault_injector,
+                               resilience=resilience)
     arrival_rng = random.Random(seed)
     cumulative: List[float] = []
     running = 0.0
@@ -589,6 +894,8 @@ def run_cluster_simulation(config: ClusterConfig,
             # Open the measurement window before the first measured query.
             cluster.reset_measurement(sim.now)
             measure_start[0] = sim.now
+            if fault_injector is not None:
+                fault_injector.arm(sim.now)
         cluster.offer(next_query(sim.now))
         if offered < total:
             gap = arrival_rng.expovariate(rate_qps)
@@ -607,4 +914,11 @@ def run_cluster_simulation(config: ClusterConfig,
         broker_rejections=sum(metrics.broker_rejections.values()),
         shard_rejections=sum(metrics.shard_rejections.values()),
         seed=seed,
+        retries=metrics.retries,
+        hedges=metrics.hedges,
+        degraded=metrics.degraded,
+        faults_injected=(fault_injector.total_injected()
+                         if fault_injector is not None else 0),
+        attainment=(metrics.attainment(attainment_threshold)
+                    if attainment_threshold is not None else {}),
     )

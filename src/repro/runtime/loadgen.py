@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .._stats import mean, percentiles
 from ..core.types import Query
 from ..exceptions import ConfigurationError
+from ..faults import RetryPolicy
 from .server import AdmissionServer
 
 #: Percentiles reported for measured response times.
@@ -43,6 +44,11 @@ class LoadResult:
     duration: float = 0.0
     response_times: Dict[str, List[float]] = field(default_factory=dict)
     rejected_by_type: Dict[str, int] = field(default_factory=dict)
+    #: Resubmissions performed after rejections (retry policy active).
+    retries: int = 0
+    #: Queries whose retry budget (or deadline) ran out — they are counted
+    #: in ``rejected`` too: exhaustion surfaces as a reject, not an error.
+    retry_exhausted: int = 0
 
     @property
     def rejection_pct(self) -> float:
@@ -82,16 +88,37 @@ class LoadGenerator:
         generator's RNG so runs are reproducible.
     rate_qps:
         Mean departure rate of the Poisson schedule.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy`.  A rejected
+        submission is retried after capped exponential backoff with
+        jitter, stopping early if the backoff would cross the query's
+        deadline; exhaustion counts the query as *rejected* (plus
+        ``retry_exhausted``), never as an error.  Retry sleeps happen
+        inline, so heavy retrying bends the open-loop schedule — keep
+        budgets small when measuring latency.
+    deadline:
+        Optional per-query SLO deadline in seconds: each query's absolute
+        ``deadline`` is stamped ``send_instant + deadline`` on the
+        server's clock and propagates with the query (queue expiration,
+        retry aborts, and — through the replica/cluster paths —
+        sub-query expiration).
     """
 
     def __init__(self, server: AdmissionServer, query_factory: QueryFactory,
-                 rate_qps: float, seed: Optional[int] = None) -> None:
+                 rate_qps: float, seed: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 deadline: Optional[float] = None) -> None:
         if rate_qps <= 0:
             raise ConfigurationError(f"rate_qps must be > 0, got {rate_qps}")
+        if deadline is not None and deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be > 0, got {deadline}")
         self._server = server
         self._query_factory = query_factory
         self._rate = float(rate_qps)
         self._rng = random.Random(seed)
+        self._retry = retry
+        self._deadline = deadline
 
     def run(self, num_queries: int,
             result_timeout: float = 30.0) -> LoadResult:
@@ -117,8 +144,10 @@ class LoadGenerator:
             if delay > 0:
                 time.sleep(delay)
             query = self._query_factory(self._rng)
+            if self._deadline is not None:
+                query.deadline = time.monotonic() + self._deadline
             result.offered += 1
-            admission, future = self._server.try_submit(query)
+            future = self._submit_with_retry(query, result)
             if future is None:
                 result.rejected += 1
                 result.rejected_by_type[query.qtype] = (
@@ -139,3 +168,28 @@ class LoadGenerator:
                     response)
         result.duration = time.monotonic() - start
         return result
+
+    def _submit_with_retry(self, query: Query, result: LoadResult):
+        """Submit once, then retry rejections per the retry policy.
+
+        Returns the accepted future, or ``None`` when the query was
+        rejected for good (no retry policy, budget spent, or a backoff
+        that would cross the query's deadline).
+        """
+        admission, future = self._server.try_submit(query)
+        if future is not None or self._retry is None:
+            return future
+        attempt = 0
+        while True:
+            delay = self._retry.backoff(attempt, now=time.monotonic(),
+                                        deadline=query.deadline)
+            if delay is None:
+                result.retry_exhausted += 1
+                return None
+            time.sleep(delay)
+            attempt += 1
+            result.retries += 1
+            self._server.telemetry.on_retry()
+            admission, future = self._server.try_submit(query)
+            if future is not None:
+                return future

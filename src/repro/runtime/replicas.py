@@ -14,12 +14,14 @@ from __future__ import annotations
 import itertools
 import random
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
 from ..core.types import Query
 from ..exceptions import (ConfigurationError, QueryRejectedError,
                           ReproError, ShuttingDownError)
+from ..faults import RetryPolicy
 from .server import AdmissionServer
 
 
@@ -40,6 +42,8 @@ class ReplicaStats:
     failovers: int = 0
     exhausted: int = 0
     per_replica: List[int] = field(default_factory=list)
+    #: Backed-off re-sweeps over the replica set (retry policy active).
+    retries: int = 0
 
 
 class ReplicaClient:
@@ -55,11 +59,20 @@ class ReplicaClient:
     jitter_seed:
         Seeds the initial replica choice so independent clients spread
         load instead of synchronizing on replica 0.
+    retry:
+        Optional :class:`~repro.faults.RetryPolicy`.  When every replica
+        rejects a sweep, the client backs off (capped exponential with
+        jitter) and sweeps again — a transiently blacked-out replica set
+        recovers within the retry budget instead of failing the caller.
+        A backoff that would cross the query's ``deadline`` aborts early;
+        exhaustion still raises :class:`AllReplicasRejectedError`, the
+        caller's rejection signal.
     """
 
     def __init__(self, replicas: Sequence[AdmissionServer],
                  max_attempts: Optional[int] = None,
-                 jitter_seed: Optional[int] = None) -> None:
+                 jitter_seed: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         if not replicas:
             raise ConfigurationError("need at least one replica")
         if max_attempts is not None and max_attempts < 1:
@@ -67,6 +80,7 @@ class ReplicaClient:
                 f"max_attempts must be >= 1, got {max_attempts}")
         self._replicas = list(replicas)
         self._max_attempts = max_attempts or len(self._replicas)
+        self._retry = retry
         start = random.Random(jitter_seed).randrange(len(self._replicas))
         self._cursor = itertools.count(start)
         self._lock = threading.Lock()
@@ -80,29 +94,46 @@ class ReplicaClient:
     def submit(self, query: Query):
         """Submit with failover; returns ``(future, replica_index)``.
 
+        When every replica in a sweep rejects and a retry policy is set,
+        the client backs off and sweeps again until the retry budget (or
+        the query's deadline) runs out.
+
         Raises
         ------
         AllReplicasRejectedError
             Every attempted replica rejected the query or was shutting
-            down — the caller should degrade (the §2 fallback path).
+            down, across every budgeted sweep — the caller should degrade
+            (the §2 fallback path).
         """
         with self._lock:
             self.stats.submitted += 1
             first = next(self._cursor) % len(self._replicas)
         attempts = 0
-        for step in range(self._max_attempts):
-            index = (first + step) % len(self._replicas)
-            attempts += 1
-            try:
-                future = self._replicas[index].submit(query)
-            except (QueryRejectedError, ShuttingDownError):
+        sweep = 0
+        while True:
+            for step in range(self._max_attempts):
+                index = (first + step) % len(self._replicas)
+                attempts += 1
+                try:
+                    future = self._replicas[index].submit(query)
+                except (QueryRejectedError, ShuttingDownError):
+                    with self._lock:
+                        if step + 1 < self._max_attempts:
+                            self.stats.failovers += 1
+                    continue
                 with self._lock:
-                    if step + 1 < self._max_attempts:
-                        self.stats.failovers += 1
-                continue
+                    self.stats.per_replica[index] += 1
+                return future, index
+            if self._retry is None:
+                break
+            delay = self._retry.backoff(sweep, now=time.monotonic(),
+                                        deadline=query.deadline)
+            if delay is None:
+                break
+            time.sleep(delay)
+            sweep += 1
             with self._lock:
-                self.stats.per_replica[index] += 1
-            return future, index
+                self.stats.retries += 1
         with self._lock:
             self.stats.exhausted += 1
         raise AllReplicasRejectedError(attempts)

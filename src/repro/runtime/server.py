@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import queue as queue_module
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Callable, Optional
 
@@ -31,7 +32,9 @@ from ..core.clock import MonotonicClock
 from ..core.policy import AdmissionPolicy, QueueView
 from ..core.types import AdmissionResult, Query
 from ..exceptions import (ConfigurationError, DeadlineExceededError,
-                          QueryRejectedError, ShuttingDownError)
+                          InjectedFaultError, QueryRejectedError,
+                          ShuttingDownError)
+from ..faults import FaultInjector
 from ..obs import render_metrics
 from ..telemetry import Telemetry, TelemetryHTTPServer
 
@@ -63,6 +66,18 @@ class AdmissionServer:
         one across servers to aggregate, attach a tracer to capture
         decision traces).  When omitted the server creates a private
         registry-only instance, so counters always work and tracing is off.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` — the same chaos
+        machinery the simulated hosts take.  Blackout/crash/queue-drop
+        windows refuse arrivals (``QueryRejectedError`` with reason
+        ``FAULT_INJECTED``), stall windows freeze the workers, slowdown/
+        spike windows stretch handler time with real sleeps, and error
+        windows fail the query's future with
+        :class:`~repro.exceptions.InjectedFaultError`.  Armed at
+        :meth:`start` so plan windows are relative to server start.
+    host_label:
+        This server's name for fault targeting and telemetry attribution
+        (defaults to ``"runtime"``; give replicas distinct labels).
 
     Usage::
 
@@ -83,7 +98,9 @@ class AdmissionServer:
 
     def __init__(self, policy_factory: PolicyFactory, handler: Handler,
                  workers: int = 8, enforce_deadlines: bool = True,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 fault_injector: Optional[FaultInjector] = None,
+                 host_label: str = "runtime") -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self._clock = MonotonicClock()
@@ -97,6 +114,8 @@ class AdmissionServer:
         #: Metric-point sink; fail-open and expiration counters live in its
         #: registry (scrapable), replacing the former ad-hoc int attributes.
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._faults = fault_injector
+        self._host = host_label
         self._queue: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
         self._threads: list = []
         self._started = False
@@ -125,6 +144,8 @@ class AdmissionServer:
                 return
             self._started = True
             self._stopping = False
+        if self._faults is not None:
+            self._faults.arm(self._clock.now())
         for idx in range(self._workers_count):
             thread = threading.Thread(target=self._worker_loop,
                                       name=f"repro-engine-{idx}",
@@ -213,6 +234,17 @@ class AdmissionServer:
                 raise ShuttingDownError("server is not accepting queries")
         now = self._clock.now()
         query.arrival_time = now
+        if self._faults is not None:
+            # Fault verdicts sit in front of admission: a blacked-out or
+            # lossy host refuses before the policy ever sees the query.
+            override = self._faults.admission_override(query, now,
+                                                       self._host)
+            if override is not None:
+                self.telemetry.on_decision(
+                    query, override, now=now,
+                    queue_length=self.queue_view.length(),
+                    policy=self.policy)
+                raise QueryRejectedError(override)
         try:
             result = self.policy.decide(query)
         except Exception:
@@ -246,6 +278,21 @@ class AdmissionServer:
         return AdmissionResult.accept(), future
 
     # -- workers -----------------------------------------------------------
+    def _apply_service_faults(self, query: Query,
+                              handler_started: float) -> None:
+        """Stretch real handler time per active slowdown/spike windows.
+
+        A wall-clock handler cannot be slowed retroactively, so the shaped
+        duration is realized by sleeping the difference after the handler
+        returns — the client-observed processing time is what the fault
+        plan prescribes.
+        """
+        elapsed = self._clock.now() - handler_started
+        shaped = self._faults.shape_service(  # type: ignore[union-attr]
+            elapsed, query, handler_started, self._host)
+        if shaped > elapsed:
+            time.sleep(shaped - elapsed)
+
     def _worker_loop(self) -> None:
         while True:
             item = self._queue.get()
@@ -253,6 +300,14 @@ class AdmissionServer:
                 return
             query, future = item
             now = self._clock.now()
+            if self._faults is not None:
+                # Engines frozen by a stall window: sleep it out before
+                # touching the query (the queue does not drain meanwhile).
+                stall_end = self._faults.stalled_until(now, self._host)
+                if stall_end is not None:
+                    self._faults.note_stall(now, self._host)
+                    time.sleep(max(0.0, stall_end - now))
+                    now = self._clock.now()
             if (self._enforce_deadlines and query.deadline is not None
                     and now > query.deadline):
                 self.queue_view.on_dequeue(query.qtype)
@@ -269,6 +324,7 @@ class AdmissionServer:
                 # the worker or the query.
                 self.telemetry.on_policy_error()
             self.telemetry.on_dequeue(query, now=now)
+            handler_started = self._clock.now()
             try:
                 outcome = self._handler(query)
             except Exception as exc:  # propagate into the caller's future
@@ -276,6 +332,17 @@ class AdmissionServer:
                 self.telemetry.on_completion(query, now=query.completed_at)
                 future.set_exception(exc)
                 continue
+            if self._faults is not None:
+                self._apply_service_faults(query, handler_started)
+                if self._faults.should_error(query, self._clock.now(),
+                                             self._host):
+                    query.completed_at = self._clock.now()
+                    self.telemetry.on_completion(query,
+                                                 now=query.completed_at)
+                    future.set_exception(InjectedFaultError(
+                        f"query {query.query_id} poisoned by fault plan "
+                        f"{self._faults.plan.name!r}"))
+                    continue
             query.completed_at = self._clock.now()
             try:
                 self.policy.on_completed(query, query.wait_time or 0.0,

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator, Optional
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.telemetry
+    from ..faults import FaultInjector
     from ..telemetry import Telemetry
 
 from ..core.types import Query
@@ -31,7 +32,9 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
                    warmup_queries: Optional[int] = None,
                    seed: int = 1,
                    on_decision: Optional[DecisionHook] = None,
-                   telemetry: Optional["Telemetry"] = None
+                   telemetry: Optional["Telemetry"] = None,
+                   fault_injector: Optional["FaultInjector"] = None,
+                   attainment_threshold: Optional[float] = None
                    ) -> SimulationReport:
     """Simulate one policy under one traffic rate and report the outcome.
 
@@ -64,6 +67,14 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
         simulated host; attach a tracer to capture per-query decision
         traces of the run (warm-up included — filter on timestamps if
         needed).
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector`.  Armed at the
+        first measured arrival (if not armed already), so the plan's
+        windows are relative to the start of the measured phase.
+    attainment_threshold:
+        When set, the report's ``attainment`` maps each type (plus
+        ``"ALL"``) to the fraction of completed responses within this many
+        seconds — the SLO-attainment measure the chaos harness compares.
     """
     if num_queries < 1:
         raise ConfigurationError("num_queries must be >= 1")
@@ -73,7 +84,8 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
 
     sim = Simulator()
     server = SimulatedServer(sim, parallelism, policy_factory,
-                             on_decision=on_decision, telemetry=telemetry)
+                             on_decision=on_decision, telemetry=telemetry,
+                             fault_injector=fault_injector)
     arrivals: Iterator[Query] = iter(
         ArrivalSchedule(mix, rate_qps, seed=seed))
     offered = 0
@@ -86,6 +98,8 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
             # First measured arrival: open the window before offering so
             # this query's outcome is included and every warm-up one isn't.
             server.reset_measurement()
+            if fault_injector is not None:
+                fault_injector.arm(sim.now)
         server.offer(query)
         if offered == total:
             # Freeze utilization at the last arrival so the post-run drain
@@ -115,4 +129,6 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
         overall=overall,
         offered=num_queries,
         seed=seed,
+        attainment=(server.metrics.attainment(attainment_threshold)
+                    if attainment_threshold is not None else {}),
     )

@@ -25,7 +25,8 @@ REPORT_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 95.0, 99.0)
 class _TypeSamples:
     """Raw per-type samples collected during the measurement window."""
 
-    __slots__ = ("waits", "procs", "responses", "rejected", "expired")
+    __slots__ = ("waits", "procs", "responses", "rejected", "expired",
+                 "errors")
 
     def __init__(self) -> None:
         self.waits: List[float] = []
@@ -33,6 +34,7 @@ class _TypeSamples:
         self.responses: List[float] = []
         self.rejected = 0
         self.expired = 0
+        self.errors = 0
 
 
 class ServerMetrics:
@@ -48,6 +50,20 @@ class ServerMetrics:
         self.completed = 0
         self.rejected = 0
         self.expired = 0
+        self.errors = 0
+        self.admitted = 0
+
+    def record_error(self, query: Query) -> None:
+        """An admitted query terminated with an error verdict (e.g. an
+        injected engine fault).  The engine time is spent but the client
+        gets an error, not a response — a terminal outcome, so no query is
+        ever lost from the accounting."""
+        self.busy_time += query.processing_time or 0.0
+        self.wasted_work += query.processing_time or 0.0
+        if query.arrival_time < self.start_time:
+            return
+        self._samples(query.qtype).errors += 1
+        self.errors += 1
 
     def record_expiration(self, query: Query, wasted_work: float) -> None:
         """An admitted query timed out in the queue (dropped at dequeue) or
@@ -69,6 +85,7 @@ class ServerMetrics:
         this definition produces.
         """
         self.admitted_work += service_time
+        self.admitted += 1
 
     def note_arrival(self, now: float) -> None:
         """Track the newest arrival; utilization is measured up to it,
@@ -113,6 +130,8 @@ class ServerMetrics:
         self.completed = 0
         self.rejected = 0
         self.expired = 0
+        self.errors = 0
+        self.admitted = 0
 
     def utilization(self, now: float, parallelism: int) -> float:
         """Admitted load over capacity in the window, capped at 1.0."""
@@ -128,6 +147,24 @@ class ServerMetrics:
             return 0.0
         return min(1.0, self.busy_time / (span * parallelism))
 
+    def attainment(self, threshold: float) -> Dict[str, float]:
+        """Fraction of completed responses within ``threshold`` seconds.
+
+        Keyed per type plus ``"ALL"``; a type with no completions scores
+        0.0 (matches the cluster model's accounting).
+        """
+        result: Dict[str, float] = {}
+        total = 0
+        within_total = 0
+        for qtype, samples in self._per_type.items():
+            within = sum(1 for r in samples.responses if r <= threshold)
+            count = len(samples.responses)
+            result[qtype] = within / count if count else 0.0
+            total += count
+            within_total += within
+        result["ALL"] = within_total / total if total else 0.0
+        return result
+
     def build_type_stats(self) -> Dict[str, "TypeStats"]:
         """Condense the per-type samples into report statistics."""
         stats = {}
@@ -138,6 +175,7 @@ class ServerMetrics:
                 completed=completed,
                 rejected=samples.rejected,
                 expired=samples.expired,
+                errors=samples.errors,
                 response=percentiles(samples.responses, REPORT_PERCENTILES),
                 processing=percentiles(samples.procs, REPORT_PERCENTILES),
                 wait=percentiles(samples.waits, REPORT_PERCENTILES),
@@ -154,17 +192,20 @@ class ServerMetrics:
         waits: List[float] = []
         rejected = 0
         expired = 0
+        errors = 0
         for samples in self._per_type.values():
             responses.extend(samples.responses)
             procs.extend(samples.procs)
             waits.extend(samples.waits)
             rejected += samples.rejected
             expired += samples.expired
+            errors += samples.errors
         return TypeStats(
             qtype="ALL",
             completed=len(responses),
             rejected=rejected,
             expired=expired,
+            errors=errors,
             response=percentiles(responses, REPORT_PERCENTILES),
             processing=percentiles(procs, REPORT_PERCENTILES),
             wait=percentiles(waits, REPORT_PERCENTILES),
@@ -186,6 +227,8 @@ class TypeStats:
     rejected: int = 0
     #: Admitted queries that expired (queue timeout or late completion).
     expired: int = 0
+    #: Admitted queries terminated by an error verdict (injected faults).
+    errors: int = 0
     response: Dict[float, float] = field(default_factory=dict)
     processing: Dict[float, float] = field(default_factory=dict)
     wait: Dict[float, float] = field(default_factory=dict)
@@ -196,7 +239,7 @@ class TypeStats:
     @property
     def received(self) -> int:
         """Queries of this type offered to the policy in the window."""
-        return self.completed + self.rejected + self.expired
+        return self.completed + self.rejected + self.expired + self.errors
 
     @property
     def rejection_pct(self) -> float:
@@ -218,6 +261,9 @@ class SimulationReport:
     overall: TypeStats
     offered: int = 0
     seed: Optional[int] = None
+    #: Per-type (plus ``"ALL"``) fraction of completions within the SLO
+    #: threshold; filled when ``run_simulation`` gets one.
+    attainment: Dict[str, float] = field(default_factory=dict)
 
     def stats_for(self, qtype: Optional[str] = None) -> TypeStats:
         """Stats for one type, or the overall aggregate when ``None``."""

@@ -17,6 +17,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
 
 if TYPE_CHECKING:  # avoid a sim <-> telemetry import cycle at runtime
+    from ..faults import FaultInjector
     from ..telemetry import Telemetry
 
 from ..core.context import HostContext
@@ -66,6 +67,17 @@ class SimulatedServer:
         the host records counters and (if a tracer is attached) per-query
         decision traces at the Point 1/2/3 hooks.  ``None`` (the default)
         skips all telemetry work.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector`.  Blackout/crash/
+        queue-drop windows veto arrivals before the policy runs (reason
+        ``FAULT_INJECTED``), slowdown/spike windows reshape service times,
+        engine-stall windows freeze dispatch until they close, and error
+        windows terminate admitted queries with an error verdict.  The
+        injector must be armed (its window origin set) by the caller —
+        :func:`~repro.sim.driver.run_simulation` arms at measurement
+        start.
+    host_label:
+        This host's name for fault targeting and telemetry attribution.
     """
 
     def __init__(self, sim: Simulator, parallelism: int,
@@ -74,7 +86,9 @@ class SimulatedServer:
                  on_decision: Optional[DecisionHook] = None,
                  enforce_deadlines: bool = True,
                  priority_fn: Optional[PriorityFn] = None,
-                 telemetry: Optional["Telemetry"] = None) -> None:
+                 telemetry: Optional["Telemetry"] = None,
+                 fault_injector: Optional["FaultInjector"] = None,
+                 host_label: str = "sim") -> None:
         if parallelism < 1:
             raise ConfigurationError(
                 f"parallelism must be >= 1, got {parallelism}")
@@ -89,6 +103,11 @@ class SimulatedServer:
         self._enforce_deadlines = enforce_deadlines
         self._priority_fn = priority_fn
         self._telemetry = telemetry
+        self._faults = fault_injector
+        self._host = host_label
+        # Dispatch-resume instant scheduled for an active engine stall;
+        # guards against piling up duplicate wake-up events.
+        self._stall_wakeup_at: Optional[float] = None
         self._queue: Deque[Query] = deque()
         self._heap: List[Tuple[float, int, Query]] = []
         self._heap_seq = itertools.count()
@@ -126,6 +145,20 @@ class SimulatedServer:
         now = self._sim.now
         query.arrival_time = now
         self.metrics.note_arrival(now)
+        if self._faults is not None:
+            # A blacked-out or lossy host refuses before the policy runs —
+            # the fault sits in front of admission, like a dead NIC would.
+            override = self._faults.admission_override(query, now,
+                                                       self._host)
+            if override is not None:
+                if self._on_decision is not None:
+                    self._on_decision(now, query, override)
+                if self._telemetry is not None:
+                    self._telemetry.on_decision(
+                        query, override, now=now,
+                        queue_length=self.queue_length, policy=self.policy)
+                self.metrics.record_rejection(query, override)
+                return override
         result = self.policy.decide(query)
         if self._on_decision is not None:
             self._on_decision(now, query, result)
@@ -185,6 +218,18 @@ class SimulatedServer:
 
     def _dispatch(self) -> None:
         while self._idle > 0:
+            if self._faults is not None and self.queue_length > 0:
+                stall_end = self._faults.stalled_until(self._sim.now,
+                                                       self._host)
+                if stall_end is not None:
+                    # Engines frozen: defer dispatch until the stall window
+                    # closes (one wake-up per window end, not per arrival).
+                    if self._stall_wakeup_at != stall_end:
+                        self._stall_wakeup_at = stall_end
+                        self._faults.note_stall(self._sim.now, self._host)
+                        self._sim.schedule_at(stall_end,
+                                              self._resume_after_stall)
+                    return
             query = self._pop_next()
             if query is None:
                 return
@@ -206,15 +251,29 @@ class SimulatedServer:
             self._account_busy()
             self._idle -= 1
             service = self._service_time_fn(query)
-            self._sim.schedule_after(service,
-                                     lambda q=query: self._complete(q))
+            errored = False
+            if self._faults is not None:
+                service = self._faults.shape_service(service, query, now,
+                                                     self._host)
+                errored = self._faults.should_error(query, now, self._host)
+            self._sim.schedule_after(
+                service, lambda q=query, e=errored: self._complete(q, e))
 
-    def _complete(self, query: Query) -> None:
+    def _resume_after_stall(self) -> None:
+        self._stall_wakeup_at = None
+        self._dispatch()
+
+    def _complete(self, query: Query, errored: bool = False) -> None:
         now = self._sim.now
         query.completed_at = now
         wait = query.wait_time or 0.0
         processing = query.processing_time or 0.0
-        if (self._enforce_deadlines and query.deadline is not None
+        if errored:
+            # Injected engine fault: the work was done but the client gets
+            # an error — a terminal verdict, accounted as such.
+            self.policy.on_completed(query, wait, processing)
+            self.metrics.record_error(query)
+        elif (self._enforce_deadlines and query.deadline is not None
                 and now > query.deadline):
             # Completed after expiration: the engine time was wasted on a
             # response the client gave up on (the paper's §2 scenario).

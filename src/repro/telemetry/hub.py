@@ -71,6 +71,18 @@ class Telemetry:
         self._policy_errors = reg.counter(
             "policy_errors_total",
             "Policy decide()/hook exceptions absorbed by fail-open hosts.")
+        self._faults_injected = reg.counter(
+            "faults_injected_total",
+            "Fault activations realized by the injector, by host and kind.")
+        self._retries = reg.counter(
+            "retries_total",
+            "Retry attempts issued after rejections or timeouts.")
+        self._hedges = reg.counter(
+            "hedges_total",
+            "Hedged duplicate sub-queries issued against slow shards.")
+        self._degraded = reg.counter(
+            "degraded_responses_total",
+            "Responses served from partial (healthy-replica) results.")
         self._queue_wait = reg.histogram(
             "queue_wait_seconds", "Measured FIFO queue wait (Point 2).")
         self._processing = reg.histogram(
@@ -99,6 +111,27 @@ class Telemetry:
     @property
     def expired_count(self) -> int:
         return int(self._expired.labels(host=self.host).value)
+
+    def faults_injected_total(self) -> int:
+        """Realized fault injections across all hosts and kinds."""
+        return int(sum(child.value
+                       for child in self._faults_injected.children()
+                       .values()))
+
+    def retries_total(self) -> int:
+        """Retry attempts recorded across all hosts."""
+        return int(sum(child.value
+                       for child in self._retries.children().values()))
+
+    def hedges_total(self) -> int:
+        """Hedged sub-queries recorded across all hosts."""
+        return int(sum(child.value
+                       for child in self._hedges.children().values()))
+
+    def degraded_total(self) -> int:
+        """Degraded (partial-result) responses across all hosts."""
+        return int(sum(child.value
+                       for child in self._degraded.children().values()))
 
     def render(self) -> str:
         """Exposition text for the shared registry."""
@@ -188,3 +221,20 @@ class Telemetry:
     def on_policy_error(self) -> None:
         """The host absorbed a policy exception (fail-open admission)."""
         self._policy_errors.labels(host=self.host).inc()
+
+    # -- chaos hooks (fault injection and the resilience it triggers) ------
+    def on_fault_injected(self, kind: str, qtype: str = "") -> None:
+        """The fault injector realized one injection on this host."""
+        self._faults_injected.labels(host=self.host, kind=kind).inc()
+
+    def on_retry(self) -> None:
+        """A client/broker retried after a rejection or timeout."""
+        self._retries.labels(host=self.host).inc()
+
+    def on_hedge(self) -> None:
+        """A broker hedged a slow sub-query to another shard."""
+        self._hedges.labels(host=self.host).inc()
+
+    def on_degraded(self) -> None:
+        """A response shipped with partial (healthy-replica) results."""
+        self._degraded.labels(host=self.host).inc()

@@ -3,26 +3,42 @@
 The threaded runtime exercises these structures from many workers at
 once; these tests hammer them directly and check the invariants that the
 per-call locks are supposed to protect.
+
+All tests drive time through :class:`~repro.core.ManualClock` and line
+threads up on a start barrier, so interval swaps happen exactly where the
+test advances the clock and assertions can be exact — no wall-clock
+sleeps, no tolerance bands, no flakiness on slow CI machines.
 """
 
 import threading
 
-from repro.core import (DualBufferHistogram, MonotonicClock, PolicyStats,
+from repro.core import (DualBufferHistogram, ManualClock, PolicyStats,
                         QueueView, SlidingWindowCounts, SlidingWindowStats)
 from repro.core.types import AdmissionResult, RejectReason
 
 
 def run_threads(worker, count=8):
-    threads = [threading.Thread(target=worker) for _ in range(count)]
+    """Run ``worker`` in ``count`` threads released simultaneously."""
+    start = threading.Event()
+
+    def gated():
+        start.wait()
+        worker()
+
+    threads = [threading.Thread(target=gated) for _ in range(count)]
     for thread in threads:
         thread.start()
+    start.set()
     for thread in threads:
         thread.join()
 
 
 class TestDualBufferConcurrency:
     def test_no_records_lost(self):
-        clock = MonotonicClock()
+        # Frozen manual clock: no interval boundary can fire mid-test, so
+        # every record lands in the write buffer and one forced swap must
+        # publish all of them — an exact conservation check.
+        clock = ManualClock()
         buf = DualBufferHistogram(clock, interval=0.01, min_samples=1)
         per_thread = 2000
 
@@ -31,31 +47,57 @@ class TestDualBufferConcurrency:
                 buf.record(0.001)
 
         run_threads(worker)
-        # Force the final interval out and count everything published plus
-        # whatever remains in the write buffer.
-        total = buf.force_swap().count + 0
-        # Records may be split across many published intervals; sum via
-        # swap counters is not available, so re-check through the write
-        # side: after force_swap the active buffer is empty, so everything
-        # recorded was either published at some point or counted now.
-        # The strongest cheap invariant: no crash, snapshot is readable,
-        # and the last force_swap's count never exceeds the total records.
-        assert 0 <= total <= 8 * per_thread
+        assert buf.force_swap().count == 8 * per_thread
+
+    def test_records_split_across_intervals_conserved(self):
+        # Two deterministic interval boundaries: records before each
+        # advance are published by it; the published counts plus the final
+        # forced swap must sum to everything recorded.
+        clock = ManualClock()
+        buf = DualBufferHistogram(clock, interval=1.0, min_samples=1)
+        first_batch = threading.Barrier(5)  # 4 workers + main
+        per_phase = 1000
+
+        def worker():
+            for _ in range(per_phase):
+                buf.record(0.001)
+            first_batch.wait()
+            first_batch.wait()  # main swaps in between
+            for _ in range(per_phase):
+                buf.record(0.002)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        first_batch.wait()        # all phase-1 records are in
+        clock.advance(1.5)
+        published = buf.snapshot()  # boundary passed: publishes phase 1
+        assert published.count == 4 * per_phase
+        first_batch.wait()        # release phase 2
+        for thread in threads:
+            thread.join()
+        assert buf.force_swap().count == 4 * per_phase
 
     def test_snapshot_immutable_under_writes(self):
-        clock = MonotonicClock()
-        buf = DualBufferHistogram(clock, interval=0.005, min_samples=1)
+        clock = ManualClock()
+        buf = DualBufferHistogram(clock, interval=1.0, min_samples=1)
         stop = threading.Event()
+        started = threading.Event()
 
         def writer():
+            started.set()
             while not stop.is_set():
                 buf.record(0.002)
 
         threads = [threading.Thread(target=writer) for _ in range(4)]
         for thread in threads:
             thread.start()
+        started.wait()
         try:
             for _ in range(200):
+                # Each advance crosses an interval boundary, so snapshots
+                # are republished continually while writers hammer away.
+                clock.advance(1.0)
                 snap = buf.snapshot()
                 count_before = snap.count
                 mean_before = snap.mean()
@@ -96,7 +138,8 @@ class TestQueueViewConcurrency:
 
 class TestSlidingWindowConcurrency:
     def test_counts_conserved(self):
-        clock = MonotonicClock()
+        # Frozen clock: nothing can age out of the window mid-test.
+        clock = ManualClock()
         window = SlidingWindowCounts(clock, duration=60.0, step=1.0)
         per_thread = 3000
 
@@ -109,7 +152,7 @@ class TestSlidingWindowConcurrency:
         assert window.accepted_count("k") == 2 * per_thread
 
     def test_stats_sum_conserved(self):
-        clock = MonotonicClock()
+        clock = ManualClock()
         stats = SlidingWindowStats(clock, duration=60.0, step=1.0)
 
         def worker():

@@ -1,0 +1,163 @@
+"""Property tests for the fault-injection subsystem.
+
+Three invariants, exercised over randomized seeded fault plans:
+
+1. **Determinism** — the realized injection schedule is a pure function of
+   ``(plan, offered query sequence)``: equal plans replayed against the
+   same sequence produce byte-identical logs.
+2. **No lost queries** — every measured query ends in exactly one terminal
+   verdict (completion, rejection, expiration, or error), faults or not.
+3. **Counter fidelity** — the telemetry ``faults_injected_total`` counter
+   equals the number of injections the injector actually realized.
+
+The fixed-seed tests honor ``REPRO_CHAOS_SEED`` so CI can sweep a seed
+matrix.
+"""
+
+import json
+import os
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench import make_maxqwt, simulation_mix
+from repro.core.types import Query
+from repro.exceptions import ConfigurationError
+from repro.faults import (NAMED_PLANS, FaultInjector, FaultKind, FaultPlan,
+                          FaultSpec, named_plan)
+from repro.sim import run_simulation
+from repro.telemetry import Telemetry
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "7"))
+
+QTYPES = ("fast", "medium_fast", "medium_slow", "slow")
+
+
+def _make_spec(kind, start, duration, target, qtypes, magnitude,
+               probability):
+    if kind is FaultKind.LATENCY_SPIKE:
+        magnitude = 0.001 + 0.004 * (magnitude - 1.0)  # small positive
+    elif kind is FaultKind.SLOWDOWN:
+        magnitude = max(1.0, magnitude)
+    return FaultSpec(kind=kind, start=start, duration=duration,
+                     target=target, qtypes=qtypes, magnitude=magnitude,
+                     probability=probability)
+
+
+_specs = st.builds(
+    _make_spec,
+    kind=st.sampled_from(list(FaultKind)),
+    start=st.floats(0.0, 0.4, allow_nan=False, allow_infinity=False),
+    duration=st.floats(0.05, 1.0, allow_nan=False, allow_infinity=False),
+    target=st.sampled_from(["*", "sim", "elsewhere"]),
+    qtypes=st.sampled_from([(), ("fast",), ("fast", "slow"),
+                            ("medium_slow",)]),
+    magnitude=st.floats(1.0, 3.0, allow_nan=False, allow_infinity=False),
+    probability=st.floats(0.05, 1.0, allow_nan=False,
+                          allow_infinity=False),
+)
+
+_plans = st.builds(
+    lambda specs, seed: FaultPlan("prop-plan", seed, tuple(specs)),
+    st.lists(_specs, min_size=1, max_size=4),
+    st.integers(min_value=0, max_value=2 ** 16),
+)
+
+
+def _replay(injector: FaultInjector, n: int = 300) -> str:
+    """Offer a fixed synthetic query sequence to every injector hook."""
+    injector.arm(0.0)
+    for i in range(n):
+        now = i * 0.004
+        query = Query(qtype=QTYPES[i % len(QTYPES)], arrival_time=now)
+        if injector.admission_override(query, now, "sim") is None:
+            injector.shape_service(0.005, query, now, "sim")
+            injector.should_error(query, now, "sim")
+        injector.stalled_until(now, "sim")
+    return injector.log_json()
+
+
+class TestScheduleDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(_plans)
+    def test_same_plan_same_sequence_identical_log(self, plan):
+        first = _replay(FaultInjector(plan))
+        second = _replay(FaultInjector(plan))
+        assert first == second
+
+    @settings(max_examples=50, deadline=None)
+    @given(_plans)
+    def test_static_schedule_is_pure(self, plan):
+        assert plan.to_json() == plan.to_json()
+        assert plan.windows() == plan.windows()
+        # The canonical JSON round-trips through the windows it encodes.
+        decoded = json.loads(plan.to_json())
+        assert decoded["seed"] == plan.seed
+        assert len(decoded["windows"]) == len(plan.specs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_plans, st.integers(min_value=0, max_value=2 ** 16))
+    def test_different_seed_may_differ_but_never_crashes(self, plan, seed):
+        # A different seed over the same windows is still a valid plan;
+        # its probabilistic draws may differ, but never error.
+        other = FaultPlan(plan.name, seed, plan.specs)
+        _replay(FaultInjector(other))
+
+    def test_named_plans_are_reproducible(self):
+        for name in NAMED_PLANS:
+            assert (named_plan(name, seed=CHAOS_SEED).to_json()
+                    == named_plan(name, seed=CHAOS_SEED).to_json())
+        with pytest.raises(ConfigurationError):
+            named_plan("no-such-plan")
+
+
+def _run_with_plan(plan, telemetry=None, injector=None):
+    mix = simulation_mix()
+    injector = injector or FaultInjector(plan, telemetry=telemetry)
+    report = run_simulation(
+        mix, make_maxqwt(limit=0.015),
+        rate_qps=0.9 * mix.full_load_qps(20), num_queries=600,
+        parallelism=20, warmup_queries=100, seed=CHAOS_SEED,
+        fault_injector=injector)
+    return report, injector
+
+
+class TestNoLostQueries:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(_plans)
+    def test_every_measured_query_gets_a_terminal_verdict(self, plan):
+        report, _ = _run_with_plan(plan)
+        overall = report.overall
+        # completed + rejected + expired + errors covers every measured
+        # arrival exactly once: nothing lost, nothing double-counted.
+        assert overall.received == 600
+        assert (overall.completed + overall.rejected + overall.expired
+                + overall.errors) == 600
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(_plans)
+    def test_telemetry_counter_equals_realized_injections(self, plan):
+        telemetry = Telemetry()
+        report, injector = _run_with_plan(plan, telemetry=telemetry)
+        assert telemetry.faults_injected_total() == injector.total_injected()
+        total_by_kind = sum(injector.counts.values())
+        assert total_by_kind == injector.total_injected()
+
+
+class TestEndToEndDeterminism:
+    @pytest.mark.parametrize("name", sorted(NAMED_PLANS))
+    def test_full_sim_runs_inject_identically(self, name):
+        plan = named_plan(name, seed=CHAOS_SEED)
+        report_a, injector_a = _run_with_plan(plan)
+        report_b, injector_b = _run_with_plan(plan)
+        # Byte-identical injection schedules across two complete runs.
+        assert injector_a.log_json() == injector_b.log_json()
+        # And identical terminal accounting.
+        for attr in ("completed", "rejected", "expired", "errors"):
+            assert (getattr(report_a.overall, attr)
+                    == getattr(report_b.overall, attr))
