@@ -1,0 +1,59 @@
+"""Pytest plugin running the test suite under lock-order checking.
+
+Loaded from the repository's top-level ``tests/conftest.py`` via
+``pytest_plugins``; activates only when ``REPRO_LOCKCHECK`` is set in the
+environment (CI sets it on the chaos/differential jobs), so plain local
+runs pay zero overhead.
+
+While active, every ``threading.Lock``/``RLock`` constructed by repro code
+is a :class:`~repro.analysis.lockcheck.CheckedLock` feeding the global lock
+graph.  At session teardown the guard fixture fails the run if any
+lock-order cycle (potential deadlock) was recorded, printing the stacks of
+each conflicting acquisition.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional
+
+import pytest
+
+from . import lockcheck
+
+_ENV_FLAG = "REPRO_LOCKCHECK"
+
+
+def _enabled() -> bool:
+    return bool(os.environ.get(_ENV_FLAG))
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if _enabled():
+        registry = lockcheck.install()
+        config.stash[_registry_key] = registry
+
+
+def pytest_unconfigure(config: pytest.Config) -> None:
+    if config.stash.get(_registry_key, None) is not None:
+        lockcheck.uninstall()
+        del config.stash[_registry_key]
+
+
+def pytest_report_header(config: pytest.Config) -> Optional[str]:
+    if config.stash.get(_registry_key, None) is not None:
+        return "repro.analysis.lockcheck: instrumenting threading locks"
+    return None
+
+
+_registry_key: "pytest.StashKey[lockcheck.LockCheckRegistry]" = (
+    pytest.StashKey())
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _repro_lockcheck_guard(request: pytest.FixtureRequest) -> Iterator[None]:
+    """Fail the session if the instrumented run recorded any lock cycle."""
+    registry = request.config.stash.get(_registry_key, None)
+    yield
+    if registry is not None:
+        registry.check()

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands:
+Six commands:
 
 * ``simulate`` — run the §5.3 single-host study for one policy across one
   or more load factors and print the per-type outcome table.
@@ -12,6 +12,9 @@ Five commands:
 * ``trace-report`` — summarize a JSONL decision trace (exported by the
   telemetry tracer or scraped from a host's ``/traces`` endpoint) into
   rejection-attribution and SLO-attainment tables.
+* ``lint``     — run the project-aware static analysis (determinism,
+  clock, RNG and lock invariants; see ``docs/static_analysis.md``), plus
+  ``--dynamic`` for the lock-order-checked sim+runtime workload.
 * ``info``     — print the reproduction's configuration: the Table 1 mix,
   the SLOs, the cluster shape, and the experiment-to-bench map.
 """
@@ -123,6 +126,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarize a JSONL decision trace (telemetry export)")
     trace.add_argument("path", help="trace file (one JSON event per line)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="project-aware static analysis (docs/static_analysis.md)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="output_format")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule names to run "
+                           "(default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
+    lint.add_argument("--dynamic", action="store_true",
+                      help="also run the lock-order-checked sim+runtime "
+                           "workload")
+
     sub.add_parser("info", help="print the reproduction's configuration")
     return parser
 
@@ -233,6 +252,40 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static rules (and optionally the dynamic lockcheck)."""
+    from .analysis import (LintConfig, available_rules, lint_paths,
+                           render_json, render_text)
+
+    if args.list_rules:
+        for name, description in available_rules().items():
+            print(f"{name}: {description}")
+        return 0
+    select = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",")
+                  if part.strip()}
+        unknown = select - set(available_rules())
+        if unknown:
+            print(f"lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    config = LintConfig(select=select)
+    violations, checked = lint_paths(args.paths, config)
+    if args.output_format == "json":
+        print(render_json(violations, checked))
+    else:
+        print(render_text(violations, checked))
+    failed = bool(violations)
+    if args.dynamic:
+        from .analysis.dynamic import render_dynamic_report, run_dynamic_check
+
+        registry = run_dynamic_check()
+        print(render_dynamic_report(registry))
+        failed = failed or bool(registry.violations)
+    return 1 if failed else 0
+
+
 def cmd_info() -> int:
     """Print the reproduction's workload, SLO, and cluster configuration."""
     mix = simulation_mix()
@@ -273,6 +326,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_chaos(args)
         if args.command == "trace-report":
             return cmd_trace_report(args)
+        if args.command == "lint":
+            return cmd_lint(args)
         return cmd_info()
     except BrokenPipeError:
         # ``repro ... | head`` closes stdout early; exit quietly instead

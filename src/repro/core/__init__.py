@@ -11,7 +11,8 @@ from .baselines import (AcceptFractionConfig, AcceptFractionPolicy,
 from .bouncer import (DECISION_ALL, DECISION_ANY, HISTOGRAMS_DUAL_BUFFER,
                       HISTOGRAMS_SLIDING_WINDOW, BouncerConfig,
                       BouncerEstimate, BouncerPolicy)
-from .clock import Clock, ManualClock, MonotonicClock
+from .clock import (Clock, ManualClock, MonotonicClock, SleepingClock,
+                    at_or_after)
 from .context import HostContext
 from .dual_buffer import DualBufferHistogram, SlidingWindowHistogram
 from .histogram import (BucketLayout, HistogramSnapshot, LatencyHistogram,
@@ -67,10 +68,12 @@ __all__ = [
     "RejectReason",
     "SLOClass",
     "SLORegistry",
+    "SleepingClock",
     "SlidingWindowCounts",
     "SlidingWindowHistogram",
     "SlidingWindowStats",
     "TypeCounters",
+    "at_or_after",
     "empty_snapshot",
     "group_into_classes",
     "propose_registry",

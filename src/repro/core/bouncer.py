@@ -31,7 +31,7 @@ are retained rather than replaced by empty ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..exceptions import ConfigurationError
 from .context import HostContext
@@ -40,6 +40,9 @@ from .histogram import BucketLayout, HistogramSnapshot
 from .policy import AdmissionPolicy
 from .slo import LatencySLO, SLORegistry
 from .types import AdmissionResult, Query, RejectReason
+
+#: Either histogram backend satisfies the same record/estimate surface.
+HistogramBackend = Union[DualBufferHistogram, SlidingWindowHistogram]
 
 #: Reject when ANY percentile estimate exceeds its target (Algorithm 1).
 DECISION_ANY = "any"
@@ -147,12 +150,12 @@ class BouncerPolicy(AdmissionPolicy):
         self._ctx = ctx
         self._config = config
         self._slos = config.slos
-        self._hists: Dict[str, DualBufferHistogram] = {}
+        self._hists: Dict[str, HistogramBackend] = {}
         self._general = self._new_histogram()
         self._mode_any = config.decision_mode == DECISION_ANY
 
     # -- construction helpers -------------------------------------------
-    def _new_histogram(self):
+    def _new_histogram(self) -> HistogramBackend:
         if self._config.histogram_mode == HISTOGRAMS_SLIDING_WINDOW:
             return SlidingWindowHistogram(
                 self._ctx.clock,
@@ -166,7 +169,7 @@ class BouncerPolicy(AdmissionPolicy):
             bootstrap_samples=self._config.bootstrap_samples,
             layout=self._config.layout)
 
-    def _histogram_for(self, qtype: str) -> DualBufferHistogram:
+    def _histogram_for(self, qtype: str) -> HistogramBackend:
         hist = self._hists.get(qtype)
         if hist is None:
             hist = self._new_histogram()

@@ -7,10 +7,18 @@ injects a :class:`ManualClock` it advances itself; the real runtime injects
 a :class:`MonotonicClock`.  This is what lets the exact same
 :class:`~repro.core.bouncer.BouncerPolicy` object be evaluated both ways, as
 the paper does (§5.3 vs §5.4).
+
+This module is the **only** place allowed to read the wall clock — the
+``no-wall-clock`` lint rule (see ``docs/static_analysis.md``) rejects
+``time.time``/``time.monotonic``/``datetime.now`` everywhere else.  Code
+that must *wait* goes through :meth:`SleepingClock.sleep` for the same
+reason: under a :class:`ManualClock` the wait becomes a deterministic
+advance, so retry/backoff/deadline paths are testable without real delays.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Protocol, runtime_checkable
 
@@ -22,6 +30,37 @@ class Clock(Protocol):
     def now(self) -> float:
         """Current time in seconds on this clock's timeline."""
         ...  # pragma: no cover
+
+
+class SleepingClock(Clock, Protocol):
+    """A clock that can also *wait* on its own timeline.
+
+    Clients (load generators, retrying replica clients) block through
+    ``sleep`` instead of :func:`time.sleep`, so the same client code runs
+    against a :class:`ManualClock` — where sleeping merely advances the
+    clock — in deterministic tests.
+    """
+
+    def sleep(self, seconds: float) -> None:
+        """Block until ``seconds`` have elapsed on this clock."""
+        ...  # pragma: no cover
+
+
+def at_or_after(epoch: float, offset: float) -> float:
+    """Smallest float instant ``u`` with ``u - epoch >= offset``.
+
+    ``epoch + offset`` can round to a hair *below* ``epoch + offset`` as
+    re-measured by ``u - epoch`` — PR 2's ``stalled_until`` bug: a host
+    told to wake at the returned instant found the stall window still
+    active and re-scheduled itself forever at frozen simulated time.  Use
+    this helper whenever an absolute instant must land **at or after** a
+    relative window's end despite float rounding (the
+    ``no-simtime-float-eq`` lint rule points offenders here).
+    """
+    instant = epoch + offset
+    while instant - epoch < offset:
+        instant = math.nextafter(instant, math.inf)
+    return instant
 
 
 class ManualClock:
@@ -50,6 +89,11 @@ class ManualClock:
                 f"cannot move clock backwards ({instant} < {self._now})")
         self._now = float(instant)
 
+    def sleep(self, seconds: float) -> None:
+        """Simulated blocking: advancing time *is* the wait."""
+        if seconds > 0:
+            self.advance(seconds)
+
 
 class MonotonicClock:
     """Wall-clock time from :func:`time.monotonic` (real runtime servers)."""
@@ -59,3 +103,8 @@ class MonotonicClock:
     def now(self) -> float:
         """Seconds from :func:`time.monotonic` (monotonic wall clock)."""
         return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        """Real blocking via :func:`time.sleep` (no-op for ``<= 0``)."""
+        if seconds > 0:
+            time.sleep(seconds)

@@ -175,7 +175,10 @@ class QueueView:
 
     counts: Dict[str, int] = field(default_factory=dict)
     _length: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock)
+    # The lambda defers the threading.Lock lookup to construction time so
+    # the lockcheck instrumentation (repro.analysis.lockcheck.install) also
+    # covers views created after install(), not just after this import.
+    _lock: threading.Lock = field(default_factory=lambda: threading.Lock())
 
     def on_enqueue(self, qtype: str) -> None:
         with self._lock:

@@ -23,7 +23,6 @@ them from worker threads).
 
 from __future__ import annotations
 
-import math
 import random
 import threading
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
@@ -31,6 +30,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 if TYPE_CHECKING:  # telemetry imports core only; avoid an import cycle here
     from ..telemetry import Telemetry
 
+from ..core.clock import at_or_after
 from ..core.types import AdmissionResult, Query, RejectReason
 from .plan import (ADMISSION_KINDS, SERVICE_KINDS, STALL_KINDS, FaultKind,
                    FaultPlan, FaultSpec)
@@ -210,15 +210,12 @@ class FaultInjector:
             if end is None:
                 return None
             epoch: float = self._epoch  # type: ignore[assignment]
-            until = epoch + end
             # ``(epoch + end) - epoch`` can round to a hair *below*
             # ``end``, leaving the spec active at the very instant we
             # told the host to wake up — a host that re-polls at the
             # returned time would re-schedule itself forever at frozen
-            # simulated time.  Nudge until the window is really over.
-            while until - epoch < end:
-                until = math.nextafter(until, math.inf)
-            return until
+            # simulated time.
+            return at_or_after(epoch, end)
 
     def note_stall(self, now: float, host: str) -> None:
         """Record that ``host`` deferred dispatch due to an active stall."""

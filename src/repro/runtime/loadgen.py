@@ -17,11 +17,11 @@ tool's in-process counterpart:
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .._stats import mean, percentiles
+from ..core.clock import SleepingClock
 from ..core.types import Query
 from ..exceptions import ConfigurationError
 from ..faults import RetryPolicy
@@ -102,12 +102,18 @@ class LoadGenerator:
         server's clock and propagates with the query (queue expiration,
         retry aborts, and — through the replica/cluster paths —
         sub-query expiration).
+    clock:
+        Time source for the departure schedule, deadline stamps and
+        backoff sleeps; defaults to the target server's clock.  Tests
+        inject a :class:`~repro.core.clock.ManualClock` to cover
+        retry/deadline paths deterministically (sleeps become advances).
     """
 
     def __init__(self, server: AdmissionServer, query_factory: QueryFactory,
                  rate_qps: float, seed: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None,
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 clock: Optional[SleepingClock] = None) -> None:
         if rate_qps <= 0:
             raise ConfigurationError(f"rate_qps must be > 0, got {rate_qps}")
         if deadline is not None and deadline <= 0:
@@ -119,6 +125,8 @@ class LoadGenerator:
         self._rng = random.Random(seed)
         self._retry = retry
         self._deadline = deadline
+        self._clock: SleepingClock = (
+            clock if clock is not None else server.ctx.clock)
 
     def run(self, num_queries: int,
             result_timeout: float = 30.0) -> LoadResult:
@@ -130,7 +138,7 @@ class LoadGenerator:
         if num_queries < 1:
             raise ConfigurationError("num_queries must be >= 1")
         # Fix the whole departure schedule up front (open loop).
-        start = time.monotonic() + 0.005
+        start = self._clock.now() + 0.005
         send_at = []
         cursor = start
         for _ in range(num_queries):
@@ -140,12 +148,10 @@ class LoadGenerator:
         result = LoadResult()
         in_flight = []
         for scheduled in send_at:
-            delay = scheduled - time.monotonic()
-            if delay > 0:
-                time.sleep(delay)
+            self._clock.sleep(scheduled - self._clock.now())
             query = self._query_factory(self._rng)
             if self._deadline is not None:
-                query.deadline = time.monotonic() + self._deadline
+                query.deadline = self._clock.now() + self._deadline
             result.offered += 1
             future = self._submit_with_retry(query, result)
             if future is None:
@@ -166,7 +172,7 @@ class LoadGenerator:
             if response is not None:
                 result.response_times.setdefault(query.qtype, []).append(
                     response)
-        result.duration = time.monotonic() - start
+        result.duration = self._clock.now() - start
         return result
 
     def _submit_with_retry(self, query: Query, result: LoadResult):
@@ -181,12 +187,12 @@ class LoadGenerator:
             return future
         attempt = 0
         while True:
-            delay = self._retry.backoff(attempt, now=time.monotonic(),
+            delay = self._retry.backoff(attempt, now=self._clock.now(),
                                         deadline=query.deadline)
             if delay is None:
                 result.retry_exhausted += 1
                 return None
-            time.sleep(delay)
+            self._clock.sleep(delay)
             attempt += 1
             result.retries += 1
             self._server.telemetry.on_retry()

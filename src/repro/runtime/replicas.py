@@ -14,10 +14,10 @@ from __future__ import annotations
 import itertools
 import random
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
+from ..core.clock import SleepingClock
 from ..core.types import Query
 from ..exceptions import (ConfigurationError, QueryRejectedError,
                           ReproError, ShuttingDownError)
@@ -67,12 +67,18 @@ class ReplicaClient:
         A backoff that would cross the query's ``deadline`` aborts early;
         exhaustion still raises :class:`AllReplicasRejectedError`, the
         caller's rejection signal.
+    clock:
+        Time source for backoff deadline checks and sleeps; defaults to
+        the first replica's clock.  Tests inject a
+        :class:`~repro.core.clock.ManualClock` so retry sweeps run
+        without real delays.
     """
 
     def __init__(self, replicas: Sequence[AdmissionServer],
                  max_attempts: Optional[int] = None,
                  jitter_seed: Optional[int] = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 clock: Optional[SleepingClock] = None) -> None:
         if not replicas:
             raise ConfigurationError("need at least one replica")
         if max_attempts is not None and max_attempts < 1:
@@ -81,6 +87,8 @@ class ReplicaClient:
         self._replicas = list(replicas)
         self._max_attempts = max_attempts or len(self._replicas)
         self._retry = retry
+        self._clock: SleepingClock = (
+            clock if clock is not None else self._replicas[0].ctx.clock)
         start = random.Random(jitter_seed).randrange(len(self._replicas))
         self._cursor = itertools.count(start)
         self._lock = threading.Lock()
@@ -126,11 +134,11 @@ class ReplicaClient:
                 return future, index
             if self._retry is None:
                 break
-            delay = self._retry.backoff(sweep, now=time.monotonic(),
+            delay = self._retry.backoff(sweep, now=self._clock.now(),
                                         deadline=query.deadline)
             if delay is None:
                 break
-            time.sleep(delay)
+            self._clock.sleep(delay)
             sweep += 1
             with self._lock:
                 self.stats.retries += 1

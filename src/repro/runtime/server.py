@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import queue as queue_module
 import threading
-import time
 from concurrent.futures import Future
 from typing import Any, Callable, Optional
 
@@ -291,7 +290,7 @@ class AdmissionServer:
         shaped = self._faults.shape_service(  # type: ignore[union-attr]
             elapsed, query, handler_started, self._host)
         if shaped > elapsed:
-            time.sleep(shaped - elapsed)
+            self._clock.sleep(shaped - elapsed)
 
     def _worker_loop(self) -> None:
         while True:
@@ -306,7 +305,7 @@ class AdmissionServer:
                 stall_end = self._faults.stalled_until(now, self._host)
                 if stall_end is not None:
                     self._faults.note_stall(now, self._host)
-                    time.sleep(max(0.0, stall_end - now))
+                    self._clock.sleep(stall_end - now)
                     now = self._clock.now()
             if (self._enforce_deadlines and query.deadline is not None
                     and now > query.deadline):

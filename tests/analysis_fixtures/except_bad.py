@@ -1,0 +1,17 @@
+"""Deliberate no-swallowed-engine-errors violations (lint fixture)."""
+
+
+def worker_loop(queue):
+    while True:
+        item = queue.get()
+        try:
+            item.run()
+        except Exception:  # line 9: swallowed — future never resolves
+            continue
+
+
+def dispatch(handler, query):
+    try:
+        return handler(query)
+    except:  # line 16: bare except
+        return None

@@ -1,0 +1,21 @@
+"""Broad handlers that record, count, or re-raise (lint fixture)."""
+
+
+def worker_loop(queue, telemetry):
+    while True:
+        item = queue.get()
+        try:
+            item.run()
+        except Exception:
+            telemetry.on_policy_error()  # counted: fail open, observable
+            continue
+
+
+def dispatch(handler, query, errors):
+    try:
+        return handler(query)
+    except ValueError:
+        return None  # narrow except: the caller opted into this case
+    except Exception:
+        errors += 1
+        raise

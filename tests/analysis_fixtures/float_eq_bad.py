@@ -1,0 +1,13 @@
+"""Deliberate no-simtime-float-eq violations (lint fixture; never run)."""
+
+
+def stall_over(clock, stalled_until):
+    return clock.now() == stalled_until  # line 5: == on instants
+
+
+def expired_exactly(query, now):
+    return now != query.deadline  # line 9: != on a deadline
+
+
+def window_closed(wake_at, resume_until):
+    return resume_until == wake_at  # line 13: == on *_until

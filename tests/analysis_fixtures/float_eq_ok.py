@@ -1,0 +1,19 @@
+"""Ordering comparisons on simulated instants (lint fixture)."""
+
+from repro.core.clock import at_or_after
+
+
+def stall_over(clock, stalled_until):
+    return clock.now() >= stalled_until
+
+
+def expired(query, now):
+    return query.deadline is not None and now > query.deadline
+
+
+def wake_instant(epoch, window_end):
+    return at_or_after(epoch, window_end)
+
+
+def progress(counter, expected):
+    return counter == expected  # plain ints: not time-flavored

@@ -1,0 +1,28 @@
+"""Deliberate lock-discipline violations (lint fixture; never run)."""
+
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        self._lock.acquire()  # line 13: bare acquire
+        self.value += 1
+        self._lock.release()
+
+    def bump_slowly(self):
+        with self._lock:
+            time.sleep(0.01)  # line 19: sleeping while holding the lock
+            self.value += 1
+
+    def wait_for_result(self, future):
+        with self._lock:
+            return future.result()  # line 24: blocking wait under lock
+
+    def drain(self):
+        with self._lock:
+            yield self.value  # line 28: yield with the lock held

@@ -1,0 +1,30 @@
+"""Disciplined lock usage (lint fixture)."""
+
+import threading
+import time
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def bump_slowly(self):
+        time.sleep(0.01)  # blocking happens outside the lock
+        with self._lock:
+            self.value += 1
+
+    def wait_for_result(self, future):
+        outcome = future.result()
+        with self._lock:
+            self.value = outcome
+        return outcome
+
+    def snapshot(self):
+        with self._lock:
+            items = list(range(self.value))
+        yield from items  # the generator yields after release

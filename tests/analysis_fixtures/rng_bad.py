@@ -1,0 +1,21 @@
+"""Deliberate seeded-rng-only violations (lint fixture; never imported)."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random() * 0.2  # line 9: global RNG draw
+
+
+def pick(options):
+    return random.choice(options)  # line 13: global RNG draw
+
+
+def reseed():
+    random.seed(42)  # line 17: mutates process-global state
+
+
+def noise(n):
+    return np.random.normal(size=n)  # line 21: numpy global state

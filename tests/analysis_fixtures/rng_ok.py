@@ -1,0 +1,17 @@
+"""Randomness flowing from explicit seeded generators (lint fixture)."""
+
+import random
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random() * 0.2
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def numpy_stream(seed):
+    import numpy as np
+
+    return np.random.default_rng(seed)

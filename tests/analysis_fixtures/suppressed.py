@@ -1,0 +1,30 @@
+"""Suppression-comment behaviour (lint fixture; never imported).
+
+Each deliberate violation below carries (or is covered by) a
+``# repro: allow=`` comment except the final one, which must still fire.
+"""
+
+import time
+
+
+def same_line():
+    return time.monotonic()  # repro: allow=no-wall-clock (fixture)
+
+
+def line_above():
+    # repro: allow=no-wall-clock (fixture)
+    return time.time()
+
+
+def allow_all():
+    return time.monotonic()  # repro: allow=all
+
+
+def multiple_rules(now, deadline):
+    # repro: allow=no-wall-clock,no-simtime-float-eq (fixture)
+    return time.monotonic() == deadline
+
+
+def unsuppressed():
+    # repro: allow=seeded-rng-only (wrong rule name: must NOT suppress)
+    return time.monotonic()

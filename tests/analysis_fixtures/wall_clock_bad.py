@@ -1,0 +1,21 @@
+"""Deliberate no-wall-clock violations (lint fixture; never imported)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_arrival(query):
+    query.arrival_time = time.monotonic()  # line 8: wall-clock read
+    return query
+
+
+def epoch_seconds():
+    return time.time()  # line 13: wall-clock read
+
+
+def local_timestamp():
+    return datetime.now()  # line 17: argless datetime.now
+
+
+def utc_timestamp():
+    return datetime.utcnow()  # line 21: utcnow

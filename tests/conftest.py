@@ -6,6 +6,10 @@ import pytest
 
 from repro.core import HostContext, ManualClock, QueueView
 
+# Lock-order checking for the whole suite: a no-op unless REPRO_LOCKCHECK
+# is set in the environment (CI sets it on the chaos/differential jobs).
+pytest_plugins = ("repro.analysis.pytest_plugin",)
+
 
 @pytest.fixture
 def clock() -> ManualClock:

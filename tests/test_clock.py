@@ -9,9 +9,11 @@ from repro.core.clock import Clock, ManualClock, MonotonicClock
 
 class TestManualClock:
     def test_starts_at_given_time(self):
+        # repro: allow=no-simtime-float-eq (ManualClock stores the exact float)
         assert ManualClock(5.0).now() == 5.0
 
     def test_defaults_to_zero(self):
+        # repro: allow=no-simtime-float-eq (ManualClock stores the exact float)
         assert ManualClock().now() == 0.0
 
     def test_advance_moves_forward(self):
@@ -27,11 +29,13 @@ class TestManualClock:
     def test_advance_zero_is_allowed(self):
         clock = ManualClock(1.0)
         clock.advance(0.0)
+        # repro: allow=no-simtime-float-eq (advance(0.0) must be exact)
         assert clock.now() == 1.0
 
     def test_set_jumps_forward(self):
         clock = ManualClock()
         clock.set(10.0)
+        # repro: allow=no-simtime-float-eq (set() must store the exact float)
         assert clock.now() == 10.0
 
     def test_set_rejects_backwards(self):
@@ -46,9 +50,9 @@ class TestManualClock:
 class TestMonotonicClock:
     def test_tracks_time_monotonic(self):
         clock = MonotonicClock()
-        before = time.monotonic()
+        before = time.monotonic()  # repro: allow=no-wall-clock (tests MonotonicClock itself)
         reading = clock.now()
-        after = time.monotonic()
+        after = time.monotonic()  # repro: allow=no-wall-clock (tests MonotonicClock itself)
         assert before <= reading <= after
 
     def test_never_goes_backwards(self):

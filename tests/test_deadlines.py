@@ -92,7 +92,7 @@ class TestRuntimeDeadlines:
 
         server = AdmissionServer(accept_all, slow_handler, workers=1)
         with server:
-            now = time.monotonic()
+            now = server.ctx.clock.now()
             blocker = server.submit(Query(qtype="x"))
             doomed = server.submit(Query(qtype="x", deadline=now + 0.01))
             with pytest.raises(DeadlineExceededError):
@@ -104,6 +104,6 @@ class TestRuntimeDeadlines:
         server = AdmissionServer(accept_all, lambda q: "ok", workers=1)
         with server:
             future = server.submit(
-                Query(qtype="x", deadline=time.monotonic() + 10.0))
+                Query(qtype="x", deadline=server.ctx.clock.now() + 10.0))
             assert future.result(timeout=5.0) == "ok"
             assert server.expired_count == 0

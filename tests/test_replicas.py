@@ -1,7 +1,5 @@
 """Tests for the replica client with rejection-driven failover (§5.1/§2)."""
 
-import time
-
 import pytest
 
 from repro.core import AlwaysAcceptPolicy, AlwaysRejectPolicy
@@ -117,10 +115,11 @@ class TestReplicaClient:
         healthy.start()
         try:
             client = ReplicaClient([rejecting, healthy], jitter_seed=0)
-            start = time.monotonic()
+            wall = healthy.ctx.clock
+            start = wall.now()
             for _ in range(20):
                 client.execute(Query(qtype="x"))
-            elapsed = time.monotonic() - start
+            elapsed = wall.now() - start
             assert elapsed < 2.0
         finally:
             rejecting.stop()

@@ -30,6 +30,7 @@ class TestScheduling:
         sim.schedule_at(4.5, lambda: seen.append(sim.now))
         sim.run()
         assert seen == [4.5]
+        # repro: allow=no-simtime-float-eq (event loop pins now to the scheduled instant)
         assert sim.now == 4.5
 
     def test_schedule_after_is_relative(self):
@@ -84,6 +85,7 @@ class TestRunControl:
         sim.schedule_at(5.0, lambda: fired.append(5))
         sim.run(until=2.0)
         assert fired == [1]
+        # repro: allow=no-simtime-float-eq (event loop pins now to the scheduled instant)
         assert sim.now == 2.0
         sim.run()
         assert fired == [1, 5]
@@ -91,6 +93,7 @@ class TestRunControl:
     def test_run_until_advances_clock_when_heap_drains(self):
         sim = Simulator()
         sim.run(until=7.0)
+        # repro: allow=no-simtime-float-eq (event loop pins now to the scheduled instant)
         assert sim.now == 7.0
 
     def test_max_events_budget(self):
