@@ -40,7 +40,9 @@ DEFAULT_EXCLUDE: Tuple[str, ...] = ("*/analysis_fixtures/*",)
 #: does not override them.  ``core/clock.py`` is the one module allowed to
 #: read the wall clock — it *implements* the injected ``Clock``.
 DEFAULT_ALLOW_PATHS: Mapping[str, Tuple[str, ...]] = {
-    "no-wall-clock": ("*/repro/core/clock.py",),
+    # clock.py is the sanctioned wall-clock boundary; the perf harness
+    # legitimately measures wall time (that is its whole job).
+    "no-wall-clock": ("*/repro/core/clock.py", "*/repro/bench/perf.py"),
 }
 
 

@@ -1,0 +1,464 @@
+"""Performance microbenchmarks and the parallel experiment runner.
+
+This module backs the ``repro bench`` CLI (docs/performance.md).  It has
+two halves:
+
+* **Microbenchmarks** measuring the hot paths the admission fast path
+  optimizes: admission decisions/sec per policy (Bouncer with the fast
+  path on *and* off, so every result file records the speedup against the
+  naive baseline measured by the same harness), histogram record /
+  percentile throughput, and simulator events/sec (including a
+  cancellation-heavy workload that exercises the lazy heap compaction).
+
+* **A parallel experiment runner** that fans seeded simulation
+  configurations across cores with :mod:`multiprocessing`.  Each task is
+  fully determined by its ``(policy, factor, seed)`` tuple, so results are
+  byte-identical regardless of scheduling; they are sorted before
+  aggregation to keep the output stable.
+
+Results are emitted as machine-readable JSON (``BENCH_01.json`` at the
+repo root by convention) plus per-bench detail files under
+``benchmarks/results/``.  ``check_baseline`` compares a fresh run against
+a committed baseline and flags throughput regressions — CI fails when
+decisions/sec drops more than 30% (see ``.github/workflows/ci.yml``).
+
+Wall-clock use: benchmarking *is* the one legitimate reason to read the
+wall clock outside ``repro.core.clock``, so this module is allowlisted
+for the ``no-wall-clock`` lint rule (see ``repro.analysis.linter``).
+Simulated workloads inside the benchmarks still run on seeded
+``ManualClock`` time; ``time.perf_counter`` only brackets the measured
+regions.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import random
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.bouncer import BouncerConfig, BouncerPolicy
+from ..core.clock import ManualClock
+from ..core.context import HostContext
+from ..core.dual_buffer import DualBufferHistogram
+from ..core.histogram import LatencyHistogram
+from ..core.policy import AdmissionPolicy, QueueView
+from ..core.types import Query
+from ..sim.driver import run_simulation
+from ..sim.simulator import Simulator
+from .experiments import (SIM_PARALLELISM, make_maxql, make_maxqwt,
+                          simulation_mix, simulation_slos)
+
+#: Identifier stamped into the emitted JSON; later PRs add BENCH_02... so
+#: the trajectory of results stays comparable.
+BENCH_ID = "BENCH_01"
+#: Version of the emitted JSON structure.
+SCHEMA_VERSION = 1
+#: Default regression tolerance for :func:`check_baseline` (30%).
+DEFAULT_TOLERANCE = 0.30
+
+#: Queue occupancy used by the decision microbenchmarks: a realistic
+#: backlog mixing the Table 1 types (distinct types exercise Eq. 2's
+#: per-type terms; the counts exercise the occupancy weighting).
+DECISION_QUEUE_FILL: Tuple[Tuple[str, int], ...] = (
+    ("fast", 40), ("medium_fast", 25), ("medium_slow", 20), ("slow", 10),
+)
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Iteration counts for one bench run (quick vs. full)."""
+
+    decision_iterations: int = 100_000
+    histogram_records: int = 400_000
+    percentile_calls: int = 100_000
+    simulator_events: int = 150_000
+    cancel_events: int = 120_000
+    parallel_queries: int = 6_000
+    parallel_factors: Tuple[float, ...] = (1.0, 1.2)
+    parallel_policies: Tuple[str, ...] = ("bouncer", "maxql")
+    parallel_seeds: Tuple[int, ...] = (11, 13)
+
+
+#: The two standard scales; tests construct smaller ones directly.
+SCALES: Dict[str, BenchScale] = {
+    "full": BenchScale(),
+    "quick": BenchScale(decision_iterations=20_000,
+                        histogram_records=80_000,
+                        percentile_calls=20_000,
+                        simulator_events=40_000,
+                        cancel_events=30_000,
+                        parallel_queries=2_000,
+                        parallel_factors=(1.2,),
+                        parallel_policies=("bouncer", "maxql"),
+                        parallel_seeds=(11,)),
+}
+
+
+def _warmed_policy(policy: AdmissionPolicy, queue: QueueView,
+                   clock: ManualClock, seed: int = 401) -> None:
+    """Feed a policy realistic history and backlog before measuring.
+
+    Records lognormal-ish processing times for every Table 1 type (so the
+    per-type and general histograms publish), advances past a publish
+    boundary, and fills the queue with :data:`DECISION_QUEUE_FILL`.
+    """
+    rng = random.Random(seed)
+    mix = simulation_mix()
+    for spec in mix:
+        for _ in range(300):
+            value = rng.lognormvariate(spec.mu, spec.sigma)
+            policy.on_completed(Query(qtype=spec.name), 0.0, value)
+    clock.advance(1.5)  # cross the default 1s publish boundary
+    for qtype, count in DECISION_QUEUE_FILL:
+        for _ in range(count):
+            queue.on_enqueue(qtype)
+
+
+def _decision_policies() -> Dict[str, Callable[[HostContext],
+                                               AdmissionPolicy]]:
+    """Policy factories measured by the decision microbenchmark."""
+    slos = simulation_slos()
+    return {
+        "bouncer_fast": lambda ctx: BouncerPolicy(
+            ctx, BouncerConfig(slos=slos, fast_path=True)),
+        "bouncer_naive": lambda ctx: BouncerPolicy(
+            ctx, BouncerConfig(slos=slos, fast_path=False)),
+        "maxql": lambda ctx: make_maxql(limit=400)(ctx),
+        "maxqwt": lambda ctx: make_maxqwt(limit=0.015)(ctx),
+    }
+
+
+def bench_decisions(iterations: int) -> Dict[str, Any]:
+    """Admission decisions per second, per policy.
+
+    Every policy sees the same warmed histograms and queue backlog and the
+    same arrival sequence; the clock is frozen during measurement so no
+    publish boundary lands mid-run and each sample measures the steady
+    state.
+    """
+    arrival_types = [name for name, _ in DECISION_QUEUE_FILL]
+    results: Dict[str, float] = {}
+    counters: Dict[str, Dict[str, int]] = {}
+    for name, factory in _decision_policies().items():
+        clock = ManualClock(0.0)
+        queue = QueueView()
+        ctx = HostContext(clock=clock, queue=queue,
+                          parallelism=SIM_PARALLELISM)
+        policy = factory(ctx)
+        _warmed_policy(policy, queue, clock)
+        queries = [Query(qtype=arrival_types[i % len(arrival_types)])
+                   for i in range(iterations)]
+        decide = policy.decide
+        start = time.perf_counter()
+        for query in queries:
+            decide(query)
+        elapsed = time.perf_counter() - start
+        results[name] = iterations / elapsed if elapsed > 0 else 0.0
+        fast_stats = getattr(policy, "fast_path_stats", None)
+        if fast_stats is not None:
+            counters[name] = {
+                "cache_hits": fast_stats.cache_hits,
+                "cache_misses": fast_stats.cache_misses,
+                "eq2_recomputes": fast_stats.eq2_recomputes,
+            }
+    payload: Dict[str, Any] = {"decisions_per_sec": results,
+                               "iterations": iterations,
+                               "fast_path_counters": counters}
+    naive = results.get("bouncer_naive", 0.0)
+    if naive > 0:
+        payload["bouncer_fast_vs_naive_speedup"] = (
+            results.get("bouncer_fast", 0.0) / naive)
+    return payload
+
+
+def bench_histogram(records: int, percentile_calls: int) -> Dict[str, Any]:
+    """Histogram hot-path throughput: record, snapshot, percentiles."""
+    rng = random.Random(402)
+    values = [rng.lognormvariate(-5.0, 1.0) for _ in range(4096)]
+    n_values = len(values)
+
+    clock = ManualClock(0.0)
+    buffer = DualBufferHistogram(clock, interval=1.0, min_samples=0)
+    start = time.perf_counter()
+    for i in range(records):
+        buffer.record(values[i % n_values])
+    record_elapsed = time.perf_counter() - start
+
+    plain = LatencyHistogram()
+    for value in values:
+        plain.record(value)
+    snap = plain.snapshot()
+    targets = (50.0, 90.0)
+    start = time.perf_counter()
+    for _ in range(percentile_calls):
+        snap.percentiles(targets)
+    percentile_elapsed = time.perf_counter() - start
+
+    buffer.force_swap()
+    start = time.perf_counter()
+    for _ in range(percentile_calls):
+        buffer.snapshot()
+    snapshot_elapsed = time.perf_counter() - start
+
+    def rate(count: int, elapsed: float) -> float:
+        return count / elapsed if elapsed > 0 else 0.0
+
+    return {
+        "histogram_ops_per_sec": {
+            "dual_buffer_record": rate(records, record_elapsed),
+            "snapshot_percentiles": rate(percentile_calls,
+                                         percentile_elapsed),
+            "snapshot_calls": rate(percentile_calls, snapshot_elapsed),
+        },
+        "records": records,
+        "percentile_calls": percentile_calls,
+    }
+
+
+def bench_simulator(chain_events: int, cancel_events: int) -> Dict[str, Any]:
+    """Simulator throughput: a self-scheduling event chain, and a
+    cancellation-heavy run exercising the lazy heap compaction."""
+    sim = Simulator()
+    remaining = [chain_events]
+
+    def tick() -> None:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            sim.schedule_after(0.001, tick)
+
+    sim.schedule_after(0.001, tick)
+    start = time.perf_counter()
+    sim.run()
+    chain_elapsed = time.perf_counter() - start
+
+    # Cancellation-heavy: every "completion" cancels a timeout guard that
+    # would otherwise linger in the heap, like deadline enforcement does.
+    sim2 = Simulator()
+    remaining2 = [cancel_events]
+
+    def tick2() -> None:
+        if remaining2[0] > 0:
+            remaining2[0] -= 1
+            guard = sim2.schedule_after(1000.0, _noop)
+            guard.cancel()
+            sim2.schedule_after(0.001, tick2)
+
+    sim2.schedule_after(0.001, tick2)
+    start = time.perf_counter()
+    sim2.run()
+    cancel_elapsed = time.perf_counter() - start
+
+    return {
+        "simulator_events_per_sec": {
+            "event_chain": (chain_events / chain_elapsed
+                            if chain_elapsed > 0 else 0.0),
+            "cancel_heavy": (cancel_events / cancel_elapsed
+                             if cancel_elapsed > 0 else 0.0),
+        },
+        "chain_events": chain_events,
+        "cancel_events": cancel_events,
+    }
+
+
+def _noop() -> None:
+    """Placeholder action for cancelled guard events."""
+
+
+def _parallel_policy(name: str) -> Callable[[HostContext], AdmissionPolicy]:
+    """Resolve a parallel-runner policy name to a factory (workers call
+    this by name because closures do not pickle)."""
+    if name == "bouncer":
+        return lambda ctx: BouncerPolicy(
+            ctx, BouncerConfig(slos=simulation_slos()))
+    if name == "bouncer_naive":
+        return lambda ctx: BouncerPolicy(
+            ctx, BouncerConfig(slos=simulation_slos(), fast_path=False))
+    if name == "maxql":
+        return make_maxql(limit=400)
+    if name == "maxqwt":
+        return make_maxqwt(limit=0.015)
+    raise ValueError(f"unknown parallel bench policy {name!r}")
+
+
+def _run_experiment_task(task: Tuple[str, float, int, int]) -> Dict[str, Any]:
+    """One seeded simulation, fully determined by its task tuple."""
+    policy_name, factor, seed, num_queries = task
+    mix = simulation_mix()
+    rate = factor * mix.full_load_qps(SIM_PARALLELISM)
+    report = run_simulation(mix, _parallel_policy(policy_name),
+                            rate_qps=rate, num_queries=num_queries,
+                            parallelism=SIM_PARALLELISM, seed=seed)
+    overall = report.overall
+    return {
+        "policy": policy_name,
+        "factor": factor,
+        "seed": seed,
+        "queries": num_queries,
+        "received": overall.received,
+        "rejection_pct": overall.rejection_pct,
+        "rt_p50_ms": overall.response.get(50.0, 0.0) * 1000.0,
+        "rt_p90_ms": overall.response.get(90.0, 0.0) * 1000.0,
+        "utilization": report.utilization,
+    }
+
+
+def run_parallel_experiments(scale: BenchScale,
+                             jobs: int = 0) -> Dict[str, Any]:
+    """Fan the scale's seeded sim configurations across cores.
+
+    ``jobs <= 1`` runs sequentially in-process (used by tests and small
+    machines); otherwise a process pool of ``jobs`` workers is used.  The
+    result list is sorted by task key, so the output is identical either
+    way — parallelism changes wall time, never content.
+    """
+    tasks = [(policy, factor, seed, scale.parallel_queries)
+             for policy in scale.parallel_policies
+             for factor in scale.parallel_factors
+             for seed in scale.parallel_seeds]
+    if jobs <= 0:
+        jobs = min(len(tasks), max(1, (os.cpu_count() or 2) - 1))
+    start = time.perf_counter()
+    if jobs <= 1 or len(tasks) <= 1:
+        results = [_run_experiment_task(task) for task in tasks]
+        jobs_used = 1
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            results = pool.map(_run_experiment_task, tasks)
+        jobs_used = min(jobs, len(tasks))
+    wall = time.perf_counter() - start
+    results.sort(key=lambda r: (r["policy"], r["factor"], r["seed"]))
+    return {
+        "parallel_runner": {
+            "jobs": jobs_used,
+            "experiments": len(tasks),
+            "wall_seconds": wall,
+            "experiments_per_sec": len(tasks) / wall if wall > 0 else 0.0,
+            "results": results,
+        },
+    }
+
+
+def run_bench(scale: BenchScale, jobs: int = 0,
+              mode: str = "custom") -> Dict[str, Any]:
+    """Run every microbenchmark plus the parallel runner; return the
+    aggregate result document (the future contents of ``BENCH_01.json``)."""
+    document: Dict[str, Any] = {
+        "bench_id": BENCH_ID,
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    document.update(bench_decisions(scale.decision_iterations))
+    document.update(bench_histogram(scale.histogram_records,
+                                    scale.percentile_calls))
+    document.update(bench_simulator(scale.simulator_events,
+                                    scale.cancel_events))
+    document.update(run_parallel_experiments(scale, jobs=jobs))
+    return document
+
+
+def write_results(document: Dict[str, Any], out_path: str,
+                  results_dir: Optional[str] = None) -> List[str]:
+    """Write the aggregate JSON plus per-bench detail files.
+
+    Returns the list of paths written (aggregate first).
+    """
+    written = [out_path]
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if results_dir:
+        os.makedirs(results_dir, exist_ok=True)
+        details = {
+            "decisions": {k: document[k] for k in
+                          ("decisions_per_sec", "fast_path_counters",
+                           "bouncer_fast_vs_naive_speedup", "iterations")
+                          if k in document},
+            "histogram": {k: document[k] for k in
+                          ("histogram_ops_per_sec", "records",
+                           "percentile_calls") if k in document},
+            "simulator": {k: document[k] for k in
+                          ("simulator_events_per_sec", "chain_events",
+                           "cancel_events") if k in document},
+            "parallel": {k: document[k] for k in ("parallel_runner",)
+                         if k in document},
+        }
+        for name, payload in details.items():
+            path = os.path.join(results_dir,
+                                f"{BENCH_ID}_{name}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            written.append(path)
+    return written
+
+
+def check_baseline(current: Dict[str, Any], baseline: Dict[str, Any],
+                   tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Compare decision throughput against a committed baseline.
+
+    Returns human-readable regression messages, one per policy whose
+    decisions/sec dropped more than ``tolerance`` below the baseline
+    (empty list = no regression).  Only keys present in both documents
+    are compared, so adding a policy does not break old baselines.
+    """
+    problems: List[str] = []
+    base_rates = baseline.get("decisions_per_sec", {})
+    cur_rates = current.get("decisions_per_sec", {})
+    for name, base in sorted(base_rates.items()):
+        cur = cur_rates.get(name)
+        if cur is None or base <= 0:
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            problems.append(
+                f"{name}: {cur:,.0f} decisions/sec is "
+                f"{(1 - cur / base):.0%} below baseline {base:,.0f} "
+                f"(tolerance {tolerance:.0%})")
+    return problems
+
+
+def render_summary(document: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a bench document."""
+    lines = [f"{document.get('bench_id', '?')} "
+             f"(mode={document.get('mode', '?')}, "
+             f"python={document.get('python', '?')})"]
+    lines.append("decisions/sec:")
+    for name, rate in sorted(
+            document.get("decisions_per_sec", {}).items()):
+        lines.append(f"  {name:<16} {rate:>12,.0f}")
+    speedup = document.get("bouncer_fast_vs_naive_speedup")
+    if speedup is not None:
+        lines.append(f"  bouncer fast path speedup: {speedup:.2f}x")
+    lines.append("histogram ops/sec:")
+    for name, rate in sorted(
+            document.get("histogram_ops_per_sec", {}).items()):
+        lines.append(f"  {name:<24} {rate:>12,.0f}")
+    lines.append("simulator events/sec:")
+    for name, rate in sorted(
+            document.get("simulator_events_per_sec", {}).items()):
+        lines.append(f"  {name:<16} {rate:>12,.0f}")
+    runner = document.get("parallel_runner")
+    if runner:
+        lines.append(
+            f"parallel runner: {runner['experiments']} experiments on "
+            f"{runner['jobs']} worker(s) in {runner['wall_seconds']:.1f}s "
+            f"({runner['experiments_per_sec']:.2f}/s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    """Allow ``python -m repro.bench.perf`` as a shortcut."""
+    from ..cli import main as cli_main
+    return cli_main(["bench"] + list(argv or ()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands:
+Seven commands:
 
 * ``simulate`` — run the §5.3 single-host study for one policy across one
   or more load factors and print the per-type outcome table.
@@ -12,6 +12,11 @@ Six commands:
 * ``trace-report`` — summarize a JSONL decision trace (exported by the
   telemetry tracer or scraped from a host's ``/traces`` endpoint) into
   rejection-attribution and SLO-attainment tables.
+* ``bench``    — run the performance microbenchmarks (decisions/sec per
+  policy including the Bouncer fast-path speedup, histogram and simulator
+  throughput) plus the parallel experiment runner, emitting machine-
+  readable JSON with an optional regression gate against a committed
+  baseline (see ``docs/performance.md``).
 * ``lint``     — run the project-aware static analysis (determinism,
   clock, RNG and lock invariants; see ``docs/static_analysis.md``), plus
   ``--dynamic`` for the lock-order-checked sim+runtime workload.
@@ -120,6 +125,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "paper's p90 objective)")
     chaos.add_argument("--out", default=None,
                        help="also write the report to this file")
+
+    bench = sub.add_parser(
+        "bench",
+        help="performance microbenchmarks + parallel experiment runner "
+             "(docs/performance.md)")
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced iteration counts (CI scale)")
+    bench.add_argument("--out", default="BENCH_01.json",
+                       help="aggregate JSON output path")
+    bench.add_argument("--results-dir", default=None,
+                       help="per-bench detail directory (default: "
+                            "benchmarks/results/)")
+    bench.add_argument("--jobs", type=int, default=0,
+                       help="parallel runner worker processes "
+                            "(0 = auto, 1 = sequential)")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline JSON to gate against (exit 1 on "
+                            "throughput regression)")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       help="allowed fractional drop vs the baseline "
+                            "(default 0.30)")
 
     trace = sub.add_parser(
         "trace-report",
@@ -231,6 +257,42 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf harness; optionally gate against a committed baseline."""
+    import json
+
+    from .bench.perf import (DEFAULT_TOLERANCE, SCALES, check_baseline,
+                             render_summary, run_bench, write_results)
+    from .bench.tables import results_dir
+
+    mode = "quick" if args.quick else "full"
+    document = run_bench(SCALES[mode], jobs=args.jobs, mode=mode)
+    out_dir = args.results_dir if args.results_dir else str(results_dir())
+    written = write_results(document, args.out, results_dir=out_dir)
+    print(render_summary(document))
+    print()
+    for path in written:
+        print(f"wrote {path}")
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 1
+        tolerance = (args.tolerance if args.tolerance is not None
+                     else DEFAULT_TOLERANCE)
+        problems = check_baseline(document, baseline, tolerance=tolerance)
+        if problems:
+            for problem in problems:
+                print(f"bench: REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.baseline}, "
+              f"tolerance {tolerance:.0%})")
+    return 0
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     """Summarize an exported decision trace into the §5-style tables."""
     from .telemetry import render_trace_report, summarize_trace
@@ -324,6 +386,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_cluster(args)
         if args.command == "chaos":
             return cmd_chaos(args)
+        if args.command == "bench":
+            return cmd_bench(args)
         if args.command == "trace-report":
             return cmd_trace_report(args)
         if args.command == "lint":

@@ -30,8 +30,10 @@ are retained rather than replaced by empty ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..exceptions import ConfigurationError
 from .context import HostContext
@@ -93,6 +95,16 @@ class BouncerConfig:
         are ``histogram_interval`` long.
     layout:
         Optional shared histogram bucket layout.
+    fast_path:
+        Enable the decision fast path: epoch-cached snapshot statistics and
+        the incrementally maintained Eq. 2 occupancy state (see
+        docs/performance.md).  Decisions are bit-identical with it on or
+        off; ``False`` keeps the naive recompute-everything path, which the
+        perf harness uses as its baseline.
+    debug_check:
+        Cross-check every fast-path wait estimate against the naive
+        recomputation and raise ``AssertionError`` on any disagreement.
+        Debugging/property-test aid; meaningful only with ``fast_path``.
     """
 
     slos: SLORegistry
@@ -104,6 +116,8 @@ class BouncerConfig:
     histogram_mode: str = HISTOGRAMS_DUAL_BUFFER
     histogram_window: float = 5.0
     layout: Optional[BucketLayout] = None
+    fast_path: bool = True
+    debug_check: bool = False
 
     def __post_init__(self) -> None:
         if self.decision_mode not in (DECISION_ANY, DECISION_ALL):
@@ -125,19 +139,75 @@ class BouncerConfig:
             raise ConfigurationError("histogram_interval must be > 0")
 
 
-@dataclass
 class BouncerEstimate:
     """The evidence behind one Bouncer decision (exposed for observability).
 
     ``cold_start`` flags that the general histogram and default SLO were
     used because the type's own histogram was insufficiently populated.
+    One instance is allocated per decision, hence ``__slots__``.
     """
 
-    qtype: str
-    wait_mean: float
-    response: Dict[float, float] = field(default_factory=dict)
-    slo: Optional[LatencySLO] = None
-    cold_start: bool = False
+    __slots__ = ("qtype", "wait_mean", "response", "slo", "cold_start")
+
+    def __init__(self, qtype: str, wait_mean: float,
+                 response: Optional[Dict[float, float]] = None,
+                 slo: Optional[LatencySLO] = None,
+                 cold_start: bool = False) -> None:
+        self.qtype = qtype
+        self.wait_mean = wait_mean
+        self.response: Dict[float, float] = (
+            response if response is not None else {})
+        self.slo = slo
+        self.cold_start = cold_start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BouncerEstimate(qtype={self.qtype!r}, "
+                f"wait_mean={self.wait_mean!r}, response={self.response!r}, "
+                f"cold_start={self.cold_start!r})")
+
+
+#: Dictionary key for the general histogram in the fast path's per-backend
+#: caches.  Starts with a NUL byte, which cannot appear in a real query-type
+#: string arriving over any of the repo's frontends.
+_GENERAL_KEY = "\x00general"
+
+
+class _SnapshotStats:
+    """Memoized derived statistics for one published snapshot epoch.
+
+    ``mean`` is computed on construction; percentile vectors are filled in
+    lazily per requested percentile tuple.  An entry is valid exactly as
+    long as the publisher keeps republishing the same epoch.
+    """
+
+    __slots__ = ("epoch", "mean", "percentiles")
+
+    def __init__(self, epoch: int, mean: float) -> None:
+        self.epoch = epoch
+        self.mean = mean
+        self.percentiles: Dict[Tuple[float, ...], List[float]] = {}
+
+
+class _Contribution:
+    """One queued type's term in the incrementally maintained Eq. 2 sum."""
+
+    __slots__ = ("mean", "used_general", "epoch")
+
+    def __init__(self, mean: float, used_general: bool, epoch: int) -> None:
+        self.mean = mean
+        self.used_general = used_general
+        self.epoch = epoch
+
+
+class FastPathStats:
+    """Counters describing fast-path effectiveness (telemetry surface)."""
+
+    __slots__ = ("cache_hits", "cache_misses", "eq2_recomputes")
+
+    def __init__(self) -> None:
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.eq2_recomputes = 0
 
 
 class BouncerPolicy(AdmissionPolicy):
@@ -153,6 +223,32 @@ class BouncerPolicy(AdmissionPolicy):
         self._hists: Dict[str, HistogramBackend] = {}
         self._general = self._new_histogram()
         self._mode_any = config.decision_mode == DECISION_ANY
+        # Unified cold-start threshold: a snapshot is trusted only with at
+        # least max(min_samples, 1) observations, so an empty snapshot is
+        # never trusted even with min_samples=0 (both Eq. 2 and the
+        # percentile path use this same bound).
+        self._min_trusted = max(config.min_samples, 1)
+        self._fast = config.fast_path
+        self._debug = config.debug_check
+        self.fast_path_stats = FastPathStats()
+        # Fast-path state, guarded by _fast_lock (always acquired before any
+        # histogram-backend lock, never while holding the queue-view lock —
+        # listeners fire after that lock is released).
+        self._fast_lock = threading.Lock()
+        self._queued: Dict[str, int] = {}
+        self._means: Dict[str, _Contribution] = {}
+        self._stat_cache: Dict[str, _SnapshotStats] = {}
+        self._next_due = math.inf
+        self._general_deps = 0
+        self._general_epoch_used = -1
+        self._watch: Set[str] = set()
+        self._sum_dirty = False
+        # Memoized Eq. 2 result: valid until a queue event, a refresh
+        # trigger, or a publish boundary — exact because it is the very
+        # value the dot product produced, merely reused.
+        self._wait_cache: Optional[float] = None
+        if self._fast:
+            ctx.queue.subscribe(self._on_queue_event)
 
     # -- construction helpers -------------------------------------------
     def _new_histogram(self) -> HistogramBackend:
@@ -230,10 +326,32 @@ class BouncerPolicy(AdmissionPolicy):
             snapshot = HistogramSnapshot.from_dict(payload)
             if not snapshot.is_empty:
                 self._histogram_for(qtype).preload(snapshot)
+        self.invalidate_estimates()
 
     # -- estimation (Eqs. 2-4) -------------------------------------------
     def estimate_wait_mean(self) -> float:
-        """Eq. 2: expected mean queue wait for a newly accepted query."""
+        """Eq. 2: expected mean queue wait for a newly accepted query.
+
+        With the fast path enabled, the per-type occupancy and means are
+        maintained incrementally (queue-view subscription + publish-epoch
+        invalidation) and this reduces to one multiply-add per *distinct*
+        queued type, instead of a histogram-snapshot walk per queued type.
+        Both paths are bit-identical; ``debug_check`` verifies that.
+        """
+        if not self._fast:
+            return self._estimate_wait_mean_naive()
+        with self._fast_lock:
+            wait = self._fast_wait_mean_locked()
+        if self._debug:
+            naive = self._estimate_wait_mean_naive()
+            if naive != wait:
+                raise AssertionError(
+                    f"fast-path Eq. 2 diverged: fast={wait!r} "
+                    f"naive={naive!r}")
+        return wait
+
+    def _estimate_wait_mean_naive(self) -> float:
+        """The original recompute-everything Eq. 2 (fast-path baseline)."""
         occupancy = self._ctx.queue.occupancy()
         if not occupancy:
             return 0.0
@@ -241,7 +359,7 @@ class BouncerPolicy(AdmissionPolicy):
         total = 0.0
         for qtype, count in occupancy.items():
             snap = self._histogram_for(qtype).snapshot()
-            if snap.count >= max(self._config.min_samples, 1):
+            if snap.count >= self._min_trusted:
                 mean = snap.mean()
             else:
                 if general_mean is None:
@@ -249,6 +367,30 @@ class BouncerPolicy(AdmissionPolicy):
                 mean = general_mean
             total += count * mean
         return total / self._ctx.parallelism
+
+    def _fast_wait_mean_locked(self) -> float:
+        """Eq. 2 from the incrementally maintained state."""
+        if not self._queued:
+            return 0.0
+        now = self._ctx.clock.now()
+        if (self._sum_dirty or now >= self._next_due
+                or len(self._means) != len(self._queued)):
+            self._refresh_means_locked()
+        if self._watch:
+            self._service_watch_locked()
+            if self._sum_dirty:
+                self._refresh_means_locked()
+        if self._wait_cache is not None:
+            # No term and no count has changed since the last computation
+            # (every mutation path clears the memo): reuse it verbatim.
+            return self._wait_cache
+        total = 0.0
+        means = self._means
+        for qtype, count in self._queued.items():
+            total += count * means[qtype].mean
+        wait = total / self._ctx.parallelism
+        self._wait_cache = wait
+        return wait
 
     def estimate(self, qtype: str) -> BouncerEstimate:
         """Full percentile response-time estimate for an incoming type.
@@ -258,12 +400,13 @@ class BouncerPolicy(AdmissionPolicy):
         compared against is the catch-all default.
         """
         wait_mean = self.estimate_wait_mean()
-        snap = self._histogram_for(qtype).snapshot()
-        cold = snap.count < self._config.min_samples
+        own = self._histogram_for(qtype).snapshot()
+        cold = own.count < self._min_trusted
         if cold:
             snap = self._general.snapshot()
             slo = self._slos.default
         else:
+            snap = own
             slo = self._slos.for_type(qtype)
         estimate = BouncerEstimate(qtype=qtype, wait_mean=wait_mean,
                                    slo=slo, cold_start=cold)
@@ -274,10 +417,219 @@ class BouncerPolicy(AdmissionPolicy):
             for p in percentiles:
                 estimate.response[p] = wait_mean
             return estimate
-        for p, value in zip(sorted(percentiles),
-                            snap.percentiles(percentiles)):
+        if self._fast:
+            values = self._fast_percentiles(qtype, own, cold, snap,
+                                            percentiles)
+        else:
+            values = snap.percentiles(percentiles)
+        # ``slo.percentiles`` is already ascending, matching ``values``.
+        for p, value in zip(percentiles, values):
             estimate.response[p] = wait_mean + value
         return estimate
+
+    def _fast_percentiles(self, qtype: str, own: HistogramSnapshot,
+                          cold: bool, snap: HistogramSnapshot,
+                          percentiles: Sequence[float]) -> List[float]:
+        """Epoch-cached ``snap.percentiles`` plus staleness bookkeeping.
+
+        The snapshot touches above may themselves have published a new
+        view (e.g. an externally forced swap); if the arriving type backs a
+        term of the cached Eq. 2 sum with a different epoch, mark the sum
+        dirty so the *next* estimate refreshes it.  (The time- and
+        bootstrap-driven publishes are already caught before this point by
+        ``_next_due`` / the bootstrap watch, so this is a backstop for
+        out-of-band mutation.)
+        """
+        with self._fast_lock:
+            contrib = self._means.get(qtype)
+            if contrib is not None:
+                if contrib.used_general:
+                    if own.count >= self._min_trusted:
+                        self._sum_dirty = True
+                elif contrib.epoch != own.epoch:
+                    self._sum_dirty = True
+            if (cold and self._general_deps
+                    and snap.epoch != self._general_epoch_used):
+                self._sum_dirty = True
+            entry = self._stat_entry_locked(
+                _GENERAL_KEY if cold else qtype, snap)
+            ptuple = tuple(percentiles)
+            values = entry.percentiles.get(ptuple)
+            if values is None:
+                values = snap.percentiles(percentiles)
+                entry.percentiles[ptuple] = values
+            return values
+
+    # -- fast-path maintenance -------------------------------------------
+    def _on_queue_event(self, qtype: str, delta: int) -> None:
+        """Queue-view subscription: mirror occupancy incrementally."""
+        with self._fast_lock:
+            self._wait_cache = None
+            if delta > 0:
+                count = self._queued.get(qtype)
+                if count is not None:
+                    self._queued[qtype] = count + 1
+                else:
+                    self._queued[qtype] = 1
+                    if not self._sum_dirty:
+                        # (A pending refresh recomputes every term anyway.)
+                        self._means[qtype] = self._contribution_locked(qtype)
+            else:
+                count = self._queued.get(qtype)
+                if count is None:
+                    # Deliveries raced past the count updates (threaded
+                    # runtime); resynchronize from the authoritative view.
+                    self._queued = dict(self._ctx.queue.occupancy())
+                    self._sum_dirty = True
+                elif count > 1:
+                    self._queued[qtype] = count - 1
+                else:
+                    del self._queued[qtype]
+                    contrib = self._means.pop(qtype, None)
+                    if contrib is not None and contrib.used_general:
+                        self._general_deps -= 1
+                        if self._general_deps == 0:
+                            self._general_epoch_used = -1
+
+    def _stat_entry_locked(self, key: str,
+                           snap: HistogramSnapshot) -> _SnapshotStats:
+        """Per-backend memo of derived stats, keyed on the publish epoch."""
+        stats = self.fast_path_stats
+        entry = self._stat_cache.get(key)
+        if entry is None or entry.epoch != snap.epoch:
+            entry = _SnapshotStats(snap.epoch, snap.mean())
+            self._stat_cache[key] = entry
+            stats.cache_misses += 1
+        else:
+            stats.cache_hits += 1
+        return entry
+
+    def _contribution_locked(self, qtype: str) -> _Contribution:
+        """Compute one type's Eq. 2 term and fold in its refresh triggers."""
+        hist = self._histogram_for(qtype)
+        snap = hist.snapshot()
+        self._next_due = min(self._next_due, hist.next_publish_due())
+        if snap.count >= self._min_trusted:
+            entry = self._stat_entry_locked(qtype, snap)
+            return _Contribution(entry.mean, False, snap.epoch)
+        gsnap = self._general.snapshot()
+        gentry = self._stat_entry_locked(_GENERAL_KEY, gsnap)
+        if self._general_deps:
+            if gsnap.epoch != self._general_epoch_used:
+                # Another term was computed against an older general view.
+                self._sum_dirty = True
+        else:
+            self._general_epoch_used = gsnap.epoch
+        self._general_deps += 1
+        self._next_due = min(self._next_due,
+                             self._general.next_publish_due())
+        if hist.bootstrap_pending:
+            self._watch.add(qtype)
+        if self._general.bootstrap_pending:
+            self._watch.add(_GENERAL_KEY)
+        return _Contribution(gentry.mean, True, gsnap.epoch)
+
+    def _refresh_means_locked(self) -> None:
+        """Slow path: recompute every queued type's Eq. 2 term.
+
+        Runs on publish boundaries, bootstrap publishes, sliding-window
+        content changes, and resynchronization — i.e. exactly when a cached
+        term might no longer match what the naive walk would compute.  The
+        snapshots it touches are a subset of the ones the naive path
+        touches on every single decision, so lazy swaps and bootstrap
+        publishes happen at the same instants in both modes.
+        """
+        self.fast_path_stats.eq2_recomputes += 1
+        self._sum_dirty = False
+        self._wait_cache = None
+        self._next_due = math.inf
+        self._general_deps = 0
+        self._general_epoch_used = -1
+        means: Dict[str, _Contribution] = {}
+        general_entry: Optional[_SnapshotStats] = None
+        general_epoch = -1
+        general_deps = 0
+        for qtype in self._queued:
+            hist = self._histogram_for(qtype)
+            snap = hist.snapshot()
+            self._next_due = min(self._next_due, hist.next_publish_due())
+            if snap.count >= self._min_trusted:
+                means[qtype] = _Contribution(
+                    self._stat_entry_locked(qtype, snap).mean,
+                    False, snap.epoch)
+            else:
+                if general_entry is None:
+                    gsnap = self._general.snapshot()
+                    general_entry = self._stat_entry_locked(
+                        _GENERAL_KEY, gsnap)
+                    general_epoch = gsnap.epoch
+                means[qtype] = _Contribution(general_entry.mean, True,
+                                             general_epoch)
+                general_deps += 1
+                if hist.bootstrap_pending:
+                    self._watch.add(qtype)
+        if general_deps:
+            self._next_due = min(self._next_due,
+                                 self._general.next_publish_due())
+            if self._general.bootstrap_pending:
+                self._watch.add(_GENERAL_KEY)
+        self._means = means
+        self._general_deps = general_deps
+        self._general_epoch_used = general_epoch
+
+    def _service_watch_locked(self) -> None:
+        """Poke watched backends so pending bootstrap publishes fire.
+
+        Bootstrap publishes are sample-driven, not time-driven, so
+        ``_next_due`` cannot anticipate them; instead, completions note
+        backends nearing their bootstrap and this touches them on the next
+        decision — the same instant the naive path's walk would have.  Only
+        backends the naive walk would touch (queued types; the general
+        histogram when a term depends on it) are poked.
+        """
+        for key in list(self._watch):
+            if key == _GENERAL_KEY:
+                if not self._general_deps:
+                    # No Eq. 2 term depends on the general view; if one
+                    # appears later, _contribution_locked re-adds the watch.
+                    self._watch.discard(key)
+                    continue
+                backend: HistogramBackend = self._general
+            else:
+                if key not in self._queued:
+                    # Not queued -> no term to go stale; an enqueue takes a
+                    # fresh snapshot (and re-watches) anyway.
+                    self._watch.discard(key)
+                    continue
+                backend = self._histogram_for(key)
+            snap = backend.snapshot()
+            if not backend.bootstrap_pending:
+                self._watch.discard(key)
+            if key == _GENERAL_KEY:
+                if snap.epoch != self._general_epoch_used:
+                    self._sum_dirty = True
+            else:
+                contrib = self._means.get(key)
+                if contrib is not None:
+                    if contrib.used_general:
+                        if snap.count >= self._min_trusted:
+                            self._sum_dirty = True
+                    elif contrib.epoch != snap.epoch:
+                        self._sum_dirty = True
+
+    def invalidate_estimates(self) -> None:
+        """Drop all cached estimator state.
+
+        Call after mutating a policy-owned histogram out of band (e.g.
+        ``force_swap`` in a test, or :meth:`import_state`); the next
+        decision recomputes from the live snapshots.
+        """
+        if not self._fast:
+            return
+        with self._fast_lock:
+            self._stat_cache.clear()
+            self._sum_dirty = True
+            self._wait_cache = None
 
     # -- the decision (Algorithm 1) ----------------------------------------
     def _decide(self, query: Query) -> AdmissionResult:
@@ -305,7 +657,28 @@ class BouncerPolicy(AdmissionPolicy):
         """Point 3: record the processing time in the type's histogram.
 
         Every completion also feeds the general histogram, which backs the
-        cold-start fallback (Appendix A).
+        cold-start fallback (Appendix A).  With the fast path on, the
+        record also updates invalidation hints: sliding-window backends
+        make records visible immediately (so any dependent Eq. 2 term goes
+        stale now), while dual-buffer backends only change at a publish —
+        the one sample-driven publish (cold-start bootstrap) is tracked via
+        the bootstrap watch.
         """
-        self._histogram_for(query.qtype).record(processing_time)
+        hist = self._histogram_for(query.qtype)
+        hist.record(processing_time)
         self._general.record(processing_time)
+        if not self._fast:
+            return
+        if hist.records_visible_immediately:
+            with self._fast_lock:
+                if query.qtype in self._queued or self._general_deps:
+                    self._sum_dirty = True
+        elif hist.bootstrap_pending or self._general.bootstrap_pending:
+            # Watch only backends a cached Eq. 2 term depends on; any other
+            # backend gets a fresh snapshot (and a new watch, if still
+            # pending) from _contribution_locked when its type is enqueued.
+            with self._fast_lock:
+                if hist.bootstrap_pending and query.qtype in self._queued:
+                    self._watch.add(query.qtype)
+                if self._general.bootstrap_pending and self._general_deps:
+                    self._watch.add(_GENERAL_KEY)

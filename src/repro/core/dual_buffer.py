@@ -48,7 +48,18 @@ class DualBufferHistogram:
     Thread safety: a single lock guards the swap and the write histogram.
     Reads of the published snapshot are safe without the lock because
     snapshots are immutable; the lock is only taken to check for a due swap.
+
+    Every *published* view (swap, bootstrap publish, preload — but not a
+    retained stale snapshot, whose object is unchanged) increments a
+    monotonically increasing epoch stamped onto the snapshot, so consumers
+    can cache derived statistics per epoch (see
+    :class:`repro.core.histogram.HistogramSnapshot`).
     """
+
+    #: Records only become visible at the next publish, never immediately;
+    #: the Bouncer fast path uses this to decide whether a completion must
+    #: dirty its cached Eq. 2 state.
+    records_visible_immediately = False
 
     def __init__(self, clock: Clock, interval: float = DEFAULT_INTERVAL,
                  min_samples: int = DEFAULT_MIN_SAMPLES,
@@ -74,10 +85,38 @@ class DualBufferHistogram:
         self._lock = threading.Lock()
         self._swaps = 0
         self._retained = 0
+        self._epoch = 0
 
     @property
     def interval(self) -> float:
         return self._interval
+
+    @property
+    def published_epoch(self) -> int:
+        """Epoch of the most recently published view (0 = nothing yet)."""
+        return self._epoch
+
+    @property
+    def bootstrap_pending(self) -> bool:
+        """True when the next touch would trigger a bootstrap publish.
+
+        Advisory and read without the lock (each attribute read is atomic;
+        a stale answer only delays a cache refresh by one call) — the
+        Bouncer fast path polls this after recording completions to know it
+        must keep touching the buffer until the bootstrap fires.
+        """
+        return bool(self._bootstrap_samples
+                    and self._published.is_empty
+                    and self._active.count >= self._bootstrap_samples)
+
+    def next_publish_due(self) -> float:
+        """Instant of the next time-driven publish boundary.
+
+        Bootstrap publishes are sample-driven, not time-driven; they are
+        advertised via :attr:`bootstrap_pending` instead.
+        """
+        with self._lock:
+            return self._next_swap
 
     @property
     def swap_count(self) -> int:
@@ -113,7 +152,8 @@ class DualBufferHistogram:
             if not self._active.layout.compatible_with(snapshot._layout):
                 raise ConfigurationError(
                     "preloaded snapshot has an incompatible bucket layout")
-            self._published = snapshot
+            self._epoch += 1
+            self._published = snapshot.with_epoch(self._epoch)
             self._next_swap = self._clock.now() + self._interval
 
     def force_swap(self) -> HistogramSnapshot:
@@ -145,11 +185,14 @@ class DualBufferHistogram:
 
     def _publish_locked(self) -> None:
         self._swaps += 1
-        candidate = self._active.snapshot()
-        if candidate.count >= self._min_samples or self._published.is_empty:
-            self._published = candidate
+        if (self._active.count >= self._min_samples
+                or self._published.is_empty):
+            self._epoch += 1
+            self._published = self._active.snapshot(epoch=self._epoch)
         else:
             # Appendix A: retain the stale snapshot over a starved interval.
+            # The published object (and its epoch) is unchanged, so caches
+            # keyed on it stay valid.
             self._retained += 1
         self._active.reset()
 
@@ -162,7 +205,19 @@ class SlidingWindowHistogram:
     interval boundary.  This is the paper's future-work alternative to the
     dual buffer; it trades memory (one histogram per slice) and merge cost
     for smoother estimates.
+
+    The merged view only changes when a slice rotates or a record lands, so
+    :meth:`snapshot` caches the merged result and re-publishes the same
+    object (same epoch) until either happens.  The set of *live* slices is
+    stable between rotations: the oldest live slice only ages past the
+    horizon exactly when the next rotation is due, so a cached view can
+    never hide a slice expiry.
     """
+
+    #: Records land in the current slice and are visible on the very next
+    #: merge — the Bouncer fast path must treat any completion as
+    #: invalidating cached Eq. 2 state for this publisher.
+    records_visible_immediately = True
 
     def __init__(self, clock: Clock, window: float = 10.0, step: float = 1.0,
                  layout: Optional[BucketLayout] = None) -> None:
@@ -181,30 +236,60 @@ class SlidingWindowHistogram:
         self._current = 0
         self._slice_starts[0] = clock.now()
         self._lock = threading.Lock()
+        self._epoch = 0
+        self._cached: Optional[HistogramSnapshot] = None
+
+    @property
+    def published_epoch(self) -> int:
+        """Epoch of the most recently merged view (0 = never merged)."""
+        return self._epoch
+
+    @property
+    def bootstrap_pending(self) -> bool:
+        """Sliding windows have no bootstrap phase; always False."""
+        return False
+
+    def next_publish_due(self) -> float:
+        """Instant of the next slice rotation (next time-driven change)."""
+        with self._lock:
+            return self._slice_starts[self._current] + self._step
 
     def record(self, value: float) -> None:
         with self._lock:
             self._advance_locked()
             self._slices[self._current].record(value)
+            self._cached = None
 
     def snapshot(self) -> HistogramSnapshot:
-        """Merge all live slices into one immutable snapshot."""
+        """Merge all live slices into one immutable snapshot.
+
+        The merge is cached: until a rotation or a new record invalidates
+        it, repeat calls return the identical snapshot object (same epoch).
+        """
         with self._lock:
-            self._advance_locked()
+            if self._advance_locked():
+                self._cached = None
+            cached = self._cached
+            if cached is not None:
+                return cached
             now = self._clock.now()
             horizon = now - self._num_slices * self._step
             merged = LatencyHistogram(self._slices[0].layout)
             for idx, hist in enumerate(self._slices):
                 if self._slice_starts[idx] >= horizon:
                     merged.merge(hist)
-            return merged.snapshot()
+            self._epoch += 1
+            snap = merged.snapshot(epoch=self._epoch)
+            self._cached = snap
+            return snap
 
-    def _advance_locked(self) -> None:
+    def _advance_locked(self) -> bool:
+        """Rotate slices up to ``now``; True when any rotation happened."""
         now = self._clock.now()
         current_start = self._slice_starts[self._current]
         steps_behind = int((now - current_start) / self._step)
         if steps_behind <= 0:
-            return
+            return False
         # Rotate forward, clearing the slices we move into.  Cap the loop at
         # one full rotation: anything older is cleared anyway.
         for offset in range(1, min(steps_behind, self._num_slices) + 1):
@@ -214,3 +299,4 @@ class SlidingWindowHistogram:
         self._current = (self._current + steps_behind) % self._num_slices
         self._slice_starts[self._current] = (current_start
                                              + steps_behind * self._step)
+        return True

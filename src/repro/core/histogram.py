@@ -17,6 +17,8 @@ Two classes are exposed:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
+from itertools import accumulate
 from typing import Iterable, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
@@ -111,21 +113,55 @@ class HistogramSnapshot:
     ``percentile(p)`` interpolates linearly inside the bucket containing the
     requested rank, so the answer is within one bucket's relative error of
     the true order statistic of the recorded values.
+
+    ``epoch`` is a publisher-assigned identity: the dual-buffer and
+    sliding-window publishers increment it every time a *new* view is
+    published (swap, bootstrap, preload, window rebuild).  Two snapshots
+    from the same publisher with the same epoch are the same object, so
+    consumers (:class:`repro.core.bouncer.BouncerPolicy`) can memoize
+    derived statistics keyed on the epoch instead of re-walking buckets.
+    Snapshots created outside a publisher default to epoch 0.
     """
 
-    __slots__ = ("_layout", "_counts", "count", "_sum")
+    __slots__ = ("_layout", "_counts", "count", "_sum", "epoch",
+                 "_cumulative")
 
     def __init__(self, layout: BucketLayout, counts: Sequence[int],
-                 total: int, value_sum: float) -> None:
+                 total: int, value_sum: float, epoch: int = 0) -> None:
         self._layout = layout
         self._counts = list(counts)
         self.count = int(total)
         self._sum = float(value_sum)
+        self.epoch = int(epoch)
+        self._cumulative: Optional[List[int]] = None
+
+    def _cum(self) -> List[int]:
+        """Cumulative bucket counts, built lazily on first percentile query.
+
+        Snapshots are immutable, so the array is computed at most once and
+        every subsequent percentile lookup is a binary search instead of a
+        linear bucket walk.
+        """
+        cum = self._cumulative
+        if cum is None:
+            cum = list(accumulate(self._counts))
+            self._cumulative = cum
+        return cum
 
     @property
     def is_empty(self) -> bool:
         """True when no observations back this snapshot."""
         return self.count == 0
+
+    def with_epoch(self, epoch: int) -> "HistogramSnapshot":
+        """Copy of this snapshot carrying a different publish epoch.
+
+        Publishers use this to re-stamp an externally supplied snapshot
+        (e.g. a preloaded one) so cached derived stats keyed on the old
+        epoch cannot be mistaken for the new view's.
+        """
+        return HistogramSnapshot(self._layout, self._counts, self.count,
+                                 self._sum, epoch=epoch)
 
     def mean(self) -> float:
         """Exact mean of the recorded values (0.0 when empty)."""
@@ -143,50 +179,38 @@ class HistogramSnapshot:
             raise ValueError(f"percentile must be in (0, 100], got {p}")
         if self.count == 0:
             return 0.0
-        target = p / 100.0 * self.count
-        cumulative = 0
-        for idx, bucket_count in enumerate(self._counts):
-            if bucket_count == 0:
-                continue
-            previous = cumulative
-            cumulative += bucket_count
-            if cumulative >= target:
-                lower = self._layout.lower_bound(idx)
-                upper = self._layout.upper_bound(idx)
-                fraction = (target - previous) / bucket_count
-                return lower + (upper - lower) * fraction
-        # Rounding pushed the target past the total; return the top edge.
-        last = len(self._counts) - 1
-        return self._layout.upper_bound(last)
+        return self._rank_value(p / 100.0 * self.count, self._cum())
+
+    def _rank_value(self, target: float, cum: List[int]) -> float:
+        """Value at cumulative rank ``target`` via binary search.
+
+        ``bisect_left`` finds the first bucket whose cumulative count
+        reaches the target — exactly the bucket the previous linear walk
+        stopped at — and the in-bucket interpolation reuses the same
+        arithmetic, so results are bit-identical to the scan they replace.
+        """
+        idx = bisect_left(cum, target)
+        if idx >= len(cum):
+            # Rounding pushed the target past the total; return the top edge.
+            return self._layout.upper_bound(len(self._counts) - 1)
+        bucket_count = self._counts[idx]
+        previous = cum[idx] - bucket_count
+        lower = self._layout.lower_bound(idx)
+        upper = self._layout.upper_bound(idx)
+        fraction = (target - previous) / bucket_count
+        return lower + (upper - lower) * fraction
 
     def percentiles(self, ps: Iterable[float]) -> List[float]:
-        """Vectorized :meth:`percentile` (single pass over the buckets)."""
+        """Vectorized :meth:`percentile` (binary search per target)."""
         wanted = sorted(set(float(p) for p in ps))
         for p in wanted:
             if not 0 < p <= 100:
                 raise ValueError(f"percentile must be in (0, 100], got {p}")
-        results = {}
         if self.count == 0:
             return [0.0 for _ in wanted]
-        targets = [(p, p / 100.0 * self.count) for p in wanted]
-        cumulative = 0
-        it = iter(targets)
-        current = next(it, None)
-        for idx, bucket_count in enumerate(self._counts):
-            if bucket_count == 0:
-                continue
-            previous = cumulative
-            cumulative += bucket_count
-            while current is not None and cumulative >= current[1]:
-                lower = self._layout.lower_bound(idx)
-                upper = self._layout.upper_bound(idx)
-                fraction = (current[1] - previous) / bucket_count
-                results[current[0]] = lower + (upper - lower) * fraction
-                current = next(it, None)
-            if current is None:
-                break
-        top = self._layout.upper_bound(len(self._counts) - 1)
-        return [results.get(p, top) for p in wanted]
+        cum = self._cum()
+        return [self._rank_value(p / 100.0 * self.count, cum)
+                for p in wanted]
 
     def to_dict(self) -> dict:
         """JSON-serializable form (sparse bucket counts).
@@ -222,7 +246,8 @@ class HistogramSnapshot:
                 f"{sum(counts)}")
         return cls(layout, counts, total, float(data["sum"]))
 
-    def merged_with(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+    def merged_with(self, other: "HistogramSnapshot",
+                    epoch: int = 0) -> "HistogramSnapshot":
         """Return a new snapshot combining both sets of observations."""
         if not self._layout.compatible_with(other._layout):
             raise ConfigurationError("cannot merge snapshots with different "
@@ -230,7 +255,7 @@ class HistogramSnapshot:
         counts = [a + b for a, b in zip(self._counts, other._counts)]
         return HistogramSnapshot(self._layout, counts,
                                  self.count + other.count,
-                                 self._sum + other._sum)
+                                 self._sum + other._sum, epoch=epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.is_empty:
@@ -294,10 +319,14 @@ class LatencyHistogram:
         """Approximate percentile of everything recorded so far."""
         return self.snapshot().percentile(p)
 
-    def snapshot(self) -> HistogramSnapshot:
-        """Freeze the current contents into an immutable snapshot."""
+    def snapshot(self, epoch: int = 0) -> HistogramSnapshot:
+        """Freeze the current contents into an immutable snapshot.
+
+        ``epoch`` stamps the snapshot's publish epoch; publishers pass their
+        monotonically increasing counter, ad-hoc callers leave the default.
+        """
         return HistogramSnapshot(self._layout, self._counts, self._count,
-                                 self._sum)
+                                 self._sum, epoch=epoch)
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold another histogram's observations into this one."""

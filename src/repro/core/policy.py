@@ -23,7 +23,7 @@ from __future__ import annotations
 import abc
 import threading
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, List
 
 from .types import AdmissionResult, Query, RejectReason
 
@@ -179,11 +179,29 @@ class QueueView:
     # the lockcheck instrumentation (repro.analysis.lockcheck.install) also
     # covers views created after install(), not just after this import.
     _lock: threading.Lock = field(default_factory=lambda: threading.Lock())
+    # Occupancy-change listeners (see :meth:`subscribe`).
+    _listeners: List[Callable[[str, int], None]] = field(default_factory=list)
+
+    def subscribe(self, listener: Callable[[str, int], None]) -> None:
+        """Register ``listener(qtype, delta)`` for occupancy changes.
+
+        ``delta`` is ``+1`` on enqueue and ``-1`` on dequeue.  Listeners
+        are invoked *after* the view's lock is released so a listener may
+        take its own locks without creating a view-lock -> listener-lock
+        ordering edge (Bouncer's incremental Eq. 2 state depends on this;
+        see docs/performance.md).  Consequently, under concurrent callers
+        deliveries can arrive out of order relative to the count updates —
+        listeners must tolerate transient disagreement with
+        :meth:`occupancy` and resynchronize on their own.
+        """
+        self._listeners.append(listener)
 
     def on_enqueue(self, qtype: str) -> None:
         with self._lock:
             self.counts[qtype] = self.counts.get(qtype, 0) + 1
             self._length += 1
+        for listener in self._listeners:
+            listener(qtype, 1)
 
     def on_dequeue(self, qtype: str) -> None:
         with self._lock:
@@ -193,6 +211,8 @@ class QueueView:
             else:
                 self.counts.pop(qtype, None)
             self._length -= 1
+        for listener in self._listeners:
+            listener(qtype, -1)
 
     def count_for(self, qtype: str) -> int:
         """Number of queued queries of ``qtype``."""

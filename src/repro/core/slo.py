@@ -29,7 +29,7 @@ class LatencySLO:
     True
     """
 
-    __slots__ = ("_targets",)
+    __slots__ = ("_targets", "_percentiles")
 
     def __init__(self, targets: Mapping[float, float]) -> None:
         if not targets:
@@ -51,6 +51,8 @@ class LatencySLO:
                     f"SLO targets must be non-decreasing in percentile: "
                     f"p{hi_p} target {hi_t}s < p{lo_p} target {lo_t}s")
         self._targets = dict(ordered)
+        # Cached: read on every admission decision (immutable thereafter).
+        self._percentiles = tuple(self._targets)
 
     @classmethod
     def from_ms(cls, **targets_ms: float) -> "LatencySLO":
@@ -71,7 +73,7 @@ class LatencySLO:
     @property
     def percentiles(self) -> Tuple[float, ...]:
         """The percentiles this SLO constrains, ascending."""
-        return tuple(self._targets)
+        return self._percentiles
 
     def target(self, percentile: float) -> float:
         """Target (seconds) at ``percentile``; KeyError if unconstrained."""

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 #: Name of the catch-all query type.  Queries whose type string is not
@@ -32,9 +31,12 @@ def next_query_id() -> int:
     return next(_query_ids)
 
 
-@dataclass
 class Query:
     """A single client query travelling through the admission framework.
+
+    One ``Query`` is allocated per arrival on the hot path, so the class
+    uses ``__slots__`` (no per-instance ``__dict__``) to keep allocation
+    and attribute access cheap.
 
     Parameters
     ----------
@@ -53,17 +55,31 @@ class Query:
         Opaque application payload (e.g. a :mod:`repro.liquid` query object).
     """
 
-    qtype: str
-    arrival_time: float = 0.0
-    deadline: Optional[float] = None
-    payload: Any = None
-    query_id: int = field(default_factory=next_query_id)
+    __slots__ = ("qtype", "arrival_time", "deadline", "payload", "query_id",
+                 "enqueued_at", "dequeued_at", "completed_at",
+                 "service_time")
 
-    # Timestamps stamped by the framework as the query progresses.  They are
-    # mutable bookkeeping, not part of the query's identity.
-    enqueued_at: Optional[float] = None
-    dequeued_at: Optional[float] = None
-    completed_at: Optional[float] = None
+    def __init__(self, qtype: str, arrival_time: float = 0.0,
+                 deadline: Optional[float] = None, payload: Any = None,
+                 query_id: Optional[int] = None) -> None:
+        self.qtype = qtype
+        self.arrival_time = arrival_time
+        self.deadline = deadline
+        self.payload = payload
+        self.query_id = next_query_id() if query_id is None else query_id
+        # Timestamps stamped by the framework as the query progresses.  They
+        # are mutable bookkeeping, not part of the query's identity.
+        self.enqueued_at: Optional[float] = None
+        self.dequeued_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        # Hosts may stash the sampled service demand here at admission so it
+        # is not re-derived at dispatch (see repro.sim.server).
+        self.service_time: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return (f"Query(qtype={self.qtype!r}, "
+                f"arrival_time={self.arrival_time!r}, "
+                f"query_id={self.query_id!r})")
 
     @property
     def wait_time(self) -> Optional[float]:
@@ -132,7 +148,6 @@ class RejectReason(enum.Enum):
     FAULT_INJECTED = "fault_injected"
 
 
-@dataclass(frozen=True)
 class AdmissionResult:
     """A decision plus the evidence that produced it.
 
@@ -141,12 +156,36 @@ class AdmissionResult:
     starvation-avoidance wrappers, tests, and experiment reports inspect.
     ``overridden`` is set by starvation-avoidance strategies when they flip
     an inner rejection into an acceptance (paper §4).
+
+    One result is allocated per decision, so the class uses ``__slots__``.
+    Instances are treated as immutable by convention (nothing in the
+    framework mutates one after construction).
     """
 
-    decision: Decision
-    reason: Optional[RejectReason] = None
-    estimates: Mapping[int, float] = field(default_factory=dict)
-    overridden: bool = False
+    __slots__ = ("decision", "reason", "estimates", "overridden")
+
+    def __init__(self, decision: Decision,
+                 reason: Optional[RejectReason] = None,
+                 estimates: Optional[Mapping[int, float]] = None,
+                 overridden: bool = False) -> None:
+        self.decision = decision
+        self.reason = reason
+        self.estimates: Mapping[int, float] = (
+            estimates if estimates is not None else {})
+        self.overridden = overridden
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdmissionResult):
+            return NotImplemented
+        return (self.decision is other.decision
+                and self.reason is other.reason
+                and dict(self.estimates) == dict(other.estimates)
+                and self.overridden == other.overridden)
+
+    def __repr__(self) -> str:
+        return (f"AdmissionResult(decision={self.decision!r}, "
+                f"reason={self.reason!r}, estimates={self.estimates!r}, "
+                f"overridden={self.overridden!r})")
 
     @property
     def accepted(self) -> bool:

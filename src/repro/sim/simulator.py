@@ -28,17 +28,22 @@ Action = Callable[[], None]
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("when", "seq", "action", "cancelled")
+    __slots__ = ("when", "seq", "action", "cancelled", "_owner")
 
-    def __init__(self, when: float, seq: int, action: Action) -> None:
+    def __init__(self, when: float, seq: int, action: Action,
+                 owner: Optional["Simulator"] = None) -> None:
         self.when = when
         self.seq = seq
         self.action = action
         self.cancelled = False
+        self._owner = owner
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._owner is not None:
+                self._owner._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.when, self.seq) < (other.when, other.seq)
@@ -54,11 +59,16 @@ class Simulator:
         sim.run()
     """
 
+    #: Compact only once this many cancellations accumulate (small heaps
+    #: are cheap to pop through; rebuilding them would be churn).
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start: float = 0.0) -> None:
         self.clock = ManualClock(start)
         self._heap: List[ScheduledEvent] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -71,15 +81,36 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Events still scheduled (including cancelled placeholders)."""
-        return len(self._heap)
+        """Live (non-cancelled) events still scheduled.
+
+        Cancelled events stay in the heap as placeholders until they are
+        either popped or swept by the lazy compaction, but they are never
+        counted here.
+        """
+        return len(self._heap) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """A heap resident was cancelled; compact when mostly dead.
+
+        Long runs with many cancellations (timeout guards that almost
+        always get cancelled) would otherwise grow the heap — and the cost
+        of every push — without bound.  Compaction rebuilds the heap from
+        the live events once more than half of it is placeholders.
+        """
+        self._cancelled += 1
+        if (self._cancelled >= self._COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 >= len(self._heap)):
+            self._heap = [event for event in self._heap
+                          if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def schedule_at(self, when: float, action: Action) -> ScheduledEvent:
         """Schedule ``action`` to run at absolute simulated time ``when``."""
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule in the past ({when} < {self.now})")
-        event = ScheduledEvent(when, next(self._seq), action)
+        event = ScheduledEvent(when, next(self._seq), action, owner=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -90,11 +121,15 @@ class Simulator:
         return self.schedule_at(self.now + delay, action)
 
     def step(self) -> bool:
-        """Fire the next event; return False when the heap is empty."""
+        """Fire the next event; return False when no live events remain."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            # Detach so a late cancel() of an already-fired event cannot
+            # skew the placeholder count.
+            event._owner = None
             self.clock.set(event.when)
             self._events_processed += 1
             event.action()
@@ -114,6 +149,7 @@ class Simulator:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled -= 1
                 continue
             if until is not None and head.when > until:
                 break

@@ -97,6 +97,20 @@ class Telemetry:
             "bouncer_ert_seconds",
             "Bouncer's latest percentile response-time estimates "
             "(Eqs. 3-4), by type and quantile.")
+        self._cache_hits = reg.counter(
+            "estimator_cache_hits",
+            "Bouncer fast-path estimator cache hits (epoch-keyed "
+            "snapshot-stat memo; see docs/performance.md).")
+        self._cache_misses = reg.counter(
+            "estimator_cache_misses",
+            "Bouncer fast-path estimator cache misses (a snapshot's "
+            "derived stats were computed for a new publish epoch).")
+        self._eq2_recomputes = reg.counter(
+            "eq2_recomputes",
+            "Full recomputes of Bouncer's incremental Eq. 2 term table "
+            "(publish boundaries, bootstrap publishes, resyncs).")
+        # Last-synced FastPathStats per policy, for delta accounting.
+        self._fast_seen: dict = {}
 
     def scoped(self, host: str) -> "Telemetry":
         """A view onto the same registry/tracer under another host label."""
@@ -154,6 +168,8 @@ class Telemetry:
                 self._ert_gauge.labels(host=self.host, qtype=qtype,
                                        quantile=f"{percentile:g}"
                                        ).set(value)
+        if policy is not None:
+            self.record_fast_path(policy)
         tracer = self.tracer
         if tracer is None or not tracer.sampled(query.query_id):
             return
@@ -176,6 +192,28 @@ class Telemetry:
                    else bouncer.slos.for_type(qtype))
             event.slo = {f"{p:g}": target for p, target in slo.items()}
         tracer.record(event)
+
+    def record_fast_path(self, policy: AdmissionPolicy) -> None:
+        """Sync a Bouncer's :class:`~repro.core.bouncer.FastPathStats`
+        into the estimator counters (delta-based; safe to call often)."""
+        bouncer = _unwrap_bouncer(policy)
+        if bouncer is None:
+            return
+        stats = bouncer.fast_path_stats
+        hits = stats.cache_hits
+        misses = stats.cache_misses
+        recomputes = stats.eq2_recomputes
+        seen = self._fast_seen.get(id(bouncer), (0, 0, 0))
+        if (hits, misses, recomputes) == seen:
+            return
+        self._fast_seen[id(bouncer)] = (hits, misses, recomputes)
+        if hits > seen[0]:
+            self._cache_hits.labels(host=self.host).inc(hits - seen[0])
+        if misses > seen[1]:
+            self._cache_misses.labels(host=self.host).inc(misses - seen[1])
+        if recomputes > seen[2]:
+            self._eq2_recomputes.labels(host=self.host).inc(
+                recomputes - seen[2])
 
     def on_dequeue(self, query: Query, now: float) -> None:
         """Point 2: an engine process pulled ``query`` from the queue."""

@@ -1,0 +1,177 @@
+"""Tests for the perf harness (``repro bench``) and the fast-path
+differential guard.
+
+The differential guard is the PR's acceptance gate: a seeded simulation in
+the Figure 6 configuration must produce *bit-identical* accept/reject
+sequences and report percentiles with the Bouncer fast path on
+(self-verifying via ``debug_check``) and off.
+"""
+
+import json
+
+from repro.bench.perf import (BENCH_ID, BenchScale, bench_decisions,
+                              bench_histogram, bench_simulator,
+                              check_baseline, render_summary, run_bench,
+                              run_parallel_experiments, write_results)
+from repro.bench.experiments import make_bouncer, simulation_mix
+from repro.cli import main
+from repro.sim.driver import run_simulation
+
+TINY = BenchScale(decision_iterations=300, histogram_records=2000,
+                  percentile_calls=500, simulator_events=500,
+                  cancel_events=500, parallel_queries=150,
+                  parallel_factors=(1.2,),
+                  parallel_policies=("bouncer", "maxql"),
+                  parallel_seeds=(11,))
+
+
+class TestDifferentialGuard:
+    def test_fig06_run_bit_identical_fast_vs_naive(self):
+        mix = simulation_mix()
+        decisions = {}
+        percentiles = {}
+        for label, overrides in (
+                ("fast", dict(fast_path=True, debug_check=True)),
+                ("naive", dict(fast_path=False))):
+            seq = []
+            report = run_simulation(
+                mix, make_bouncer(**overrides), rate_qps=4000.0,
+                num_queries=4000, parallelism=100, seed=11,
+                on_decision=lambda now, q, r, seq=seq: seq.append(
+                    (now, q.qtype, r.accepted, tuple(sorted(
+                        r.estimates.items())))))
+            decisions[label] = seq
+            percentiles[label] = {
+                p: report.response_percentile(None, p) for p in (50, 90, 99)}
+        assert decisions["fast"] == decisions["naive"]
+        assert percentiles["fast"] == percentiles["naive"]
+        assert len(decisions["fast"]) > 0
+
+
+class TestMicrobenchmarks:
+    def test_bench_decisions_reports_both_bouncers(self):
+        doc = bench_decisions(200)
+        rates = doc["decisions_per_sec"]
+        assert set(rates) == {"bouncer_fast", "bouncer_naive", "maxql",
+                              "maxqwt"}
+        assert all(rate > 0 for rate in rates.values())
+        assert "bouncer_fast_vs_naive_speedup" in doc
+        counters = doc["fast_path_counters"]["bouncer_fast"]
+        assert counters["cache_hits"] > 0
+
+    def test_bench_histogram_rates_positive(self):
+        doc = bench_histogram(1000, 200)
+        rates = doc["histogram_ops_per_sec"]
+        assert set(rates) == {"dual_buffer_record", "snapshot_percentiles",
+                              "snapshot_calls"}
+        assert all(rate > 0 for rate in rates.values())
+
+    def test_bench_simulator_rates_positive(self):
+        doc = bench_simulator(400, 400)
+        rates = doc["simulator_events_per_sec"]
+        assert all(rate > 0 for rate in rates.values())
+
+
+class TestParallelRunner:
+    def test_sequential_and_parallel_agree(self):
+        sequential = run_parallel_experiments(TINY, jobs=1)
+        parallel = run_parallel_experiments(TINY, jobs=2)
+        strip = lambda doc: [
+            {k: v for k, v in row.items()}
+            for row in doc["parallel_runner"]["results"]]
+        assert strip(sequential) == strip(parallel)
+
+    def test_results_sorted_and_complete(self):
+        doc = run_parallel_experiments(TINY, jobs=1)["parallel_runner"]
+        assert doc["experiments"] == len(doc["results"]) == 2
+        keys = [(r["policy"], r["factor"], r["seed"])
+                for r in doc["results"]]
+        assert keys == sorted(keys)
+        for row in doc["results"]:
+            assert row["received"] > 0
+
+
+class TestBenchDocument:
+    def test_run_bench_document_shape(self, tmp_path):
+        doc = run_bench(TINY, jobs=1, mode="tiny")
+        assert doc["bench_id"] == BENCH_ID
+        assert doc["mode"] == "tiny"
+        for key in ("decisions_per_sec", "histogram_ops_per_sec",
+                    "simulator_events_per_sec", "parallel_runner",
+                    "bouncer_fast_vs_naive_speedup", "python"):
+            assert key in doc
+        out = tmp_path / "BENCH_01.json"
+        written = write_results(doc, str(out),
+                                results_dir=str(tmp_path / "details"))
+        assert written[0] == str(out)
+        reparsed = json.loads(out.read_text())
+        assert reparsed["bench_id"] == BENCH_ID
+        assert len(written) == 5  # aggregate + 4 detail files
+        summary = render_summary(doc)
+        assert "decisions/sec" in summary
+        assert "speedup" in summary
+
+
+class TestBaselineGate:
+    def test_no_regression_passes(self):
+        current = {"decisions_per_sec": {"bouncer_fast": 100.0}}
+        baseline = {"decisions_per_sec": {"bouncer_fast": 110.0}}
+        assert check_baseline(current, baseline, tolerance=0.30) == []
+
+    def test_regression_detected(self):
+        current = {"decisions_per_sec": {"bouncer_fast": 60.0}}
+        baseline = {"decisions_per_sec": {"bouncer_fast": 100.0}}
+        problems = check_baseline(current, baseline, tolerance=0.30)
+        assert len(problems) == 1
+        assert "bouncer_fast" in problems[0]
+
+    def test_missing_keys_ignored(self):
+        current = {"decisions_per_sec": {"bouncer_fast": 100.0}}
+        baseline = {"decisions_per_sec": {"bouncer_fast": 100.0,
+                                          "other_policy": 500.0}}
+        assert check_baseline(current, baseline) == []
+
+
+class TestBenchCLI:
+    def _tiny_scales(self, monkeypatch):
+        from repro.bench import perf
+        monkeypatch.setitem(perf.SCALES, "quick", TINY)
+
+    def test_bench_subcommand_writes_json(self, tmp_path, monkeypatch,
+                                          capsys):
+        self._tiny_scales(monkeypatch)
+        out = tmp_path / "BENCH_01.json"
+        code = main(["bench", "--quick", "--out", str(out),
+                     "--results-dir", str(tmp_path / "details"),
+                     "--jobs", "1"])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["mode"] == "quick"
+        assert "decisions_per_sec" in doc
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bench_baseline_gate_fails_on_regression(self, tmp_path,
+                                                     monkeypatch, capsys):
+        self._tiny_scales(monkeypatch)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"decisions_per_sec": {"bouncer_fast": 1e12}}))
+        code = main(["bench", "--quick",
+                     "--out", str(tmp_path / "BENCH_01.json"),
+                     "--results-dir", str(tmp_path / "details"),
+                     "--jobs", "1", "--baseline", str(baseline)])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_bench_baseline_gate_passes(self, tmp_path, monkeypatch,
+                                        capsys):
+        self._tiny_scales(monkeypatch)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"decisions_per_sec": {"bouncer_fast": 1.0}}))
+        code = main(["bench", "--quick",
+                     "--out", str(tmp_path / "BENCH_01.json"),
+                     "--results-dir", str(tmp_path / "details"),
+                     "--jobs", "1", "--baseline", str(baseline)])
+        assert code == 0
+        assert "baseline check passed" in capsys.readouterr().out

@@ -277,3 +277,48 @@ class TestSimulationIntegration:
         assert plain.overall.completed == traced.overall.completed
         assert plain.overall.rejected == traced.overall.rejected
         assert plain.overall.response == traced.overall.response
+
+
+class TestFastPathCounters:
+    def test_record_fast_path_delta_syncs(self):
+        policy, clock, queue = make_warm_bouncer()
+        queue.on_enqueue("fast")
+        for _ in range(5):
+            policy.decide(Query(qtype="fast"))
+        telemetry = Telemetry()
+        telemetry.record_fast_path(policy)
+        hits = telemetry.registry.counter_value("estimator_cache_hits",
+                                                host="main")
+        misses = telemetry.registry.counter_value("estimator_cache_misses",
+                                                  host="main")
+        assert hits == policy.fast_path_stats.cache_hits > 0
+        assert misses == policy.fast_path_stats.cache_misses > 0
+        # Re-sync without new activity: counters must not double-count.
+        telemetry.record_fast_path(policy)
+        assert telemetry.registry.counter_value("estimator_cache_hits",
+                                                host="main") == hits
+        # New decisions add only the delta.
+        policy.decide(Query(qtype="fast"))
+        telemetry.record_fast_path(policy)
+        assert telemetry.registry.counter_value(
+            "estimator_cache_hits",
+            host="main") == policy.fast_path_stats.cache_hits
+
+    def test_counters_flow_through_decision_hook(self):
+        policy, clock, queue = make_warm_bouncer()
+        queue.on_enqueue("fast")
+        telemetry = Telemetry()
+        query = Query(qtype="fast")
+        result = policy.decide(query)
+        telemetry.on_decision(query, result, now=0.0, policy=policy)
+        text = telemetry.render()
+        assert "estimator_cache_hits" in text or (
+            "estimator_cache_misses" in text)
+
+    def test_non_bouncer_policy_is_ignored(self):
+        telemetry = Telemetry()
+        from repro.core import AlwaysAcceptPolicy
+
+        telemetry.record_fast_path(AlwaysAcceptPolicy())
+        assert telemetry.registry.counter_value("estimator_cache_hits",
+                                                host="main") == 0.0
