@@ -18,7 +18,7 @@ from repro.bench import cluster_slos, make_accept_fraction, make_bouncer, \
     make_bouncer_aa, make_maxql, make_maxqwt, publish
 from repro.core import HostContext, ManualClock, QueueView
 from repro.core.types import Query
-from repro.telemetry import DecisionTracer, Telemetry
+from repro.telemetry import DecisionTracer, SpanRecorder, Telemetry
 
 QTYPES = [f"QT{i}" for i in range(1, 12)]
 
@@ -124,3 +124,50 @@ def test_overhead_bouncer_with_full_tracer(benchmark):
     telemetry = Telemetry(tracer=DecisionTracer(sample_rate=1.0))
     _bench_instrumented(benchmark, telemetry, "bouncer_tracer_full",
                         "tracer at 100% sampling")
+
+
+# -- span tracing overhead -------------------------------------------------
+# The lifecycle rows run the complete per-query hook sequence — decide(),
+# then on_decision/on_dequeue/on_completion (Figure 1's points 1/2/3) —
+# so every span a query opens is also closed inside the measured region.
+# The spans row against the plain lifecycle row isolates what opening,
+# transitioning, and finishing the root/queue_wait/execute spans costs;
+# ``repro bench`` gates the same delta at the production sampling rate.
+
+def _bench_lifecycle(benchmark, telemetry, name, note):
+    policy, clock = warm_policy(make_bouncer(slos=cluster_slos()))
+    types = itertools.cycle(QTYPES)
+    now = clock.now()
+
+    def lifecycle():
+        query = Query(qtype=next(types))
+        result = policy.decide(query)
+        telemetry.on_decision(query, result, now=now,
+                              queue_length=64, policy=policy)
+        if result.accepted:
+            query.enqueued_at = now
+            query.dequeued_at = now
+            telemetry.on_dequeue(query, now=now)
+            query.completed_at = now
+            telemetry.on_completion(query, now=now)
+
+    benchmark(lifecycle)
+    mean_us = benchmark.stats.stats.mean * 1e6
+    publish(f"overhead_{name}",
+            f"full lifecycle [{note}] mean: {mean_us:.1f} us "
+            f"(decide + points 1/2/3; compare overhead_lifecycle_plain "
+            f"to isolate span open/close cost per traced query)")
+    assert mean_us < 1000.0
+
+
+def test_overhead_lifecycle_plain(benchmark):
+    telemetry = Telemetry(tracer=DecisionTracer(sample_rate=1.0))
+    _bench_lifecycle(benchmark, telemetry, "lifecycle_plain",
+                     "tracer at 100%, span recorder off")
+
+
+def test_overhead_lifecycle_with_spans(benchmark):
+    telemetry = Telemetry(tracer=DecisionTracer(sample_rate=1.0),
+                          spans=SpanRecorder(sample_rate=1.0))
+    _bench_lifecycle(benchmark, telemetry, "lifecycle_spans",
+                     "tracer and span recorder at 100%")

@@ -62,7 +62,8 @@ from .runtime import AdmissionServer, LoadGenerator, LoadResult
 from .sim import (ArrivalSchedule, QueryTypeSpec, SimulatedServer,
                   SimulationReport, Simulator, TypeStats, WorkloadMix,
                   run_simulation)
-from .telemetry import (DecisionTracer, MetricsRegistry, Telemetry,
+from .telemetry import (CalibrationTracker, DecisionTracer,
+                        MetricsRegistry, Span, SpanRecorder, Telemetry,
                         TelemetryHTTPServer, TraceEvent)
 
 __version__ = "1.0.0"
@@ -138,8 +139,11 @@ __all__ = [
     "WorkloadMix",
     "run_simulation",
     # telemetry
+    "CalibrationTracker",
     "DecisionTracer",
     "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
     "Telemetry",
     "TelemetryHTTPServer",
     "TraceEvent",

@@ -234,6 +234,109 @@ class LockDisciplineRule(LintRule):
                                       "it outside the 'with' block")
 
 
+#: Calls that open a span and return a live handle the caller must close.
+_SPAN_OPEN_FNS = frozenset({"begin_trace", "child_span"})
+
+#: Handle methods that neither close nor transfer ownership of a span
+#: (``marker`` opens *and* finishes its child internally).
+_SPAN_NEUTRAL_METHODS = frozenset({"child_span", "annotate", "marker"})
+
+
+@register_rule
+class SpanMustFinishRule(LintRule):
+    """Span handles must be finished or handed off on every path.
+
+    A :class:`~repro.telemetry.spans.SpanHandle` left open never reaches
+    the finished ring: it leaks in the recorder's open-span table and the
+    trace it belongs to renders truncated.  Within one function, a handle
+    returned by ``begin_trace``/``child_span`` must therefore either be
+    ``.finish()``-ed, or escape to an owner that will close it (passed to
+    a call, returned, stored into an attribute/subscript/alias, or used
+    as a context manager).  Discarding the handle outright (a bare
+    expression statement) can never be right.
+    """
+
+    name = "span-must-finish"
+    description = ("span handles from begin_trace/child_span must be "
+                   "finished or handed off; discarding one leaks an "
+                   "open span")
+
+    @staticmethod
+    def _opens_span(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SPAN_OPEN_FNS)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    @classmethod
+    def _own_nodes(cls, func: ast.AST):
+        """Walk ``func``'s body without descending into nested defs
+        (a closure's handles are that closure's responsibility)."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _check_function(self, func: ast.AST) -> None:
+        opened: dict = {}  # local name -> opening assignment node
+        parents: dict = {}
+        for parent in self._own_nodes(func):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        for node in self._own_nodes(func):
+            if (isinstance(node, ast.Expr)
+                    and self._opens_span(node.value)):
+                fn = node.value.func.attr  # type: ignore[union-attr]
+                self.report(node, f"{fn}() result discarded; the span "
+                                  "can never be finished — keep the "
+                                  "handle (or use .marker() for an "
+                                  "instant event)")
+            elif (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and self._opens_span(node.value)):
+                opened[node.targets[0].id] = node
+        for name, open_node in opened.items():
+            if not self._closed_or_escapes(func, name, parents):
+                self.report(open_node,
+                            f"span handle {name!r} is never finished "
+                            "nor handed off in this function; call "
+                            f"{name}.finish(now) on every exit path or "
+                            "transfer ownership")
+
+    def _closed_or_escapes(self, func: ast.AST, name: str,
+                           parents: dict) -> bool:
+        for node in self._own_nodes(func):
+            if not (isinstance(node, ast.Name) and node.id == name
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Attribute):
+                if parent.attr == "finish":
+                    return True  # closed (first close wins; idempotent)
+                if parent.attr in _SPAN_NEUTRAL_METHODS:
+                    continue  # reading the handle, not transferring it
+                return True  # other attribute access: treat as escape
+            if isinstance(parent, (ast.Call, ast.keyword, ast.Return,
+                                   ast.withitem, ast.Subscript,
+                                   ast.Starred, ast.Tuple, ast.List,
+                                   ast.Dict)):
+                return True  # handed off to an owner that closes it
+            if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+                return True  # aliased or stored; the store owns it now
+        return False
+
+
 @register_rule
 class NoSwallowedEngineErrorsRule(LintRule):
     """Broad exception handlers must record, count, or re-raise.

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands:
+Nine commands:
 
 * ``simulate`` — run the §5.3 single-host study for one policy across one
   or more load factors and print the per-type outcome table.
@@ -12,6 +12,14 @@ Seven commands:
 * ``trace-report`` — summarize a JSONL decision trace (exported by the
   telemetry tracer or scraped from a host's ``/traces`` endpoint) into
   rejection-attribution and SLO-attainment tables.
+* ``spans``    — collect lifecycle spans from a span-traced run (or load
+  an exported span JSONL) and print the per-type critical-path breakdown;
+  ``--chrome-out`` writes a Perfetto-loadable Chrome trace
+  (see ``docs/observability.md``).
+* ``calibrate-report`` — join each admission decision's Eq. 2/3/4
+  estimates to the measured wait/response times and print per-type
+  signed-error/APE/attainment tables plus the exclusive rejection
+  attribution by Algorithm 1 term.
 * ``bench``    — run the performance microbenchmarks (decisions/sec per
   policy including the Bouncer fast-path speedup, histogram and simulator
   throughput) plus the parallel experiment runner, emitting machine-
@@ -151,6 +159,55 @@ def build_parser() -> argparse.ArgumentParser:
         "trace-report",
         help="summarize a JSONL decision trace (telemetry export)")
     trace.add_argument("path", help="trace file (one JSON event per line)")
+
+    spans = sub.add_parser(
+        "spans",
+        help="span-trace a run and print the per-type critical-path "
+             "breakdown (docs/observability.md)")
+    spans.add_argument("--input", default=None,
+                       help="load an exported span JSONL instead of "
+                            "running a simulation")
+    spans.add_argument("--policy", choices=sorted(SIM_POLICIES),
+                       default="bouncer")
+    spans.add_argument("--factor", type=float, default=1.2,
+                       help="load as a multiple of QPS_full_load")
+    spans.add_argument("--queries", type=int, default=8_000)
+    spans.add_argument("--parallelism", type=int, default=100)
+    spans.add_argument("--seed", type=int, default=11)
+    spans.add_argument("--cluster", action="store_true",
+                       help="run the broker/shard cluster model instead "
+                            "of the single-host study")
+    spans.add_argument("--rate", type=float, default=9000.0,
+                       help="cluster arrival rate (qps; with --cluster)")
+    spans.add_argument("--sample-rate", type=float, default=1.0,
+                       help="deterministic span sampling rate in [0, 1]")
+    spans.add_argument("--qtype", default=None,
+                       help="restrict the report to one query type")
+    spans.add_argument("--out", default=None,
+                       help="also export the spans as JSONL")
+    spans.add_argument("--chrome-out", default=None,
+                       help="also export a Chrome trace-event JSON "
+                            "(load in Perfetto / chrome://tracing)")
+
+    calibrate = sub.add_parser(
+        "calibrate-report",
+        help="estimator calibration: predicted vs measured wait/response "
+             "times + rejection attribution (docs/observability.md)")
+    calibrate.add_argument("--trace", default=None,
+                           help="replay an exported decision-trace JSONL "
+                                "instead of running a simulation")
+    calibrate.add_argument("--policy", choices=sorted(SIM_POLICIES),
+                           default="bouncer")
+    calibrate.add_argument("--factor", type=float, default=1.2,
+                           help="load as a multiple of QPS_full_load")
+    calibrate.add_argument("--queries", type=int, default=8_000)
+    calibrate.add_argument("--parallelism", type=int, default=100)
+    calibrate.add_argument("--seed", type=int, default=11)
+    calibrate.add_argument("--window", type=int, default=None,
+                           help="rolling window size per estimator series")
+    calibrate.add_argument("--sample-rate", type=float, default=1.0,
+                           help="deterministic join sampling rate in "
+                                "[0, 1]")
 
     lint = sub.add_parser(
         "lint",
@@ -314,6 +371,142 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_span_telemetry(sample_rate: float, spans: bool = True,
+                         calibration: bool = False, window=None):
+    """Build a ``Telemetry`` facade for the observability CLI commands."""
+    from .telemetry import (CalibrationTracker, MetricsRegistry,
+                            SpanRecorder, Telemetry)
+
+    kwargs = {}
+    if spans:
+        kwargs["spans"] = SpanRecorder(sample_rate=sample_rate)
+    if calibration:
+        cal_kwargs = {"sample_rate": sample_rate}
+        if window is not None:
+            cal_kwargs["window"] = window
+        kwargs["calibration"] = CalibrationTracker(**cal_kwargs)
+    return Telemetry(registry=MetricsRegistry(), **kwargs)
+
+
+def _check_sample_rate(rate: float) -> Optional[str]:
+    if not 0.0 <= rate <= 1.0:
+        return f"sample rate must be within [0, 1], got {rate}"
+    return None
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    """Span-trace a run (or load an export) and print the breakdown."""
+    from .telemetry import (load_spans_jsonl, render_chrome_trace,
+                            render_span_report, summarize_spans)
+
+    if args.input is not None:
+        try:
+            spans = load_spans_jsonl(args.input)
+        except OSError as exc:
+            print(f"spans: cannot read {args.input}: {exc}",
+                  file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            print(f"spans: {exc}", file=sys.stderr)
+            return 1
+        title = args.input
+    else:
+        problem = _check_sample_rate(args.sample_rate)
+        if problem:
+            print(f"spans: {problem}", file=sys.stderr)
+            return 2
+        telemetry = _make_span_telemetry(args.sample_rate)
+        if args.cluster:
+            if args.policy not in CHAOS_POLICIES:
+                print(f"spans: policy {args.policy!r} has no cluster "
+                      f"line-up entry (choose from "
+                      f"{', '.join(CHAOS_POLICIES)})", file=sys.stderr)
+                return 2
+            run_cluster_simulation(
+                cluster_config(seed=args.seed),
+                _chaos_policy_factory(args.policy), rate_qps=args.rate,
+                num_queries=args.queries, seed=args.seed,
+                telemetry=telemetry)
+            title = (f"{args.policy} cluster @ {args.rate:,.0f} qps, "
+                     f"seed {args.seed}")
+        else:
+            mix = simulation_mix()
+            rate = args.factor * mix.full_load_qps(args.parallelism)
+            run_simulation(mix, SIM_POLICIES[args.policy](),
+                           rate_qps=rate, num_queries=args.queries,
+                           parallelism=args.parallelism, seed=args.seed,
+                           telemetry=telemetry)
+            title = (f"{args.policy} @ {args.factor:.2f}x "
+                     f"({rate:,.0f} qps), seed {args.seed}")
+        recorder = telemetry.spans
+        assert recorder is not None
+        if args.out:
+            recorder.export_jsonl(args.out)
+            print(f"wrote {args.out}")
+        spans = recorder.spans()
+    if args.qtype is not None:
+        keep = {s.trace_id for s in spans if s.qtype == args.qtype}
+        spans = [s for s in spans if s.trace_id in keep]
+    if not spans:
+        print("spans: no spans recorded (is the sample rate 0, or the "
+              "qtype filter empty?)", file=sys.stderr)
+        return 1
+    if args.chrome_out:
+        with open(args.chrome_out, "w", encoding="utf-8") as fh:
+            fh.write(render_chrome_trace(spans))
+        print(f"wrote {args.chrome_out} (load in Perfetto or "
+              f"chrome://tracing)")
+    print(render_span_report(summarize_spans(spans), title=title))
+    return 0
+
+
+def cmd_calibrate_report(args: argparse.Namespace) -> int:
+    """Join Eq. 2/3/4 estimates to measurements and print the tables."""
+    from .telemetry import (calibration_from_events, load_jsonl,
+                            render_calibration_report)
+
+    if args.trace is not None:
+        try:
+            events = load_jsonl(args.trace)
+        except OSError as exc:
+            print(f"calibrate-report: cannot read {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            print(f"calibrate-report: {exc}", file=sys.stderr)
+            return 1
+        kwargs = {}
+        if args.window is not None:
+            kwargs["window"] = args.window
+        tracker = calibration_from_events(events, **kwargs)
+        title = args.trace
+    else:
+        problem = _check_sample_rate(args.sample_rate)
+        if problem:
+            print(f"calibrate-report: {problem}", file=sys.stderr)
+            return 2
+        telemetry = _make_span_telemetry(args.sample_rate, spans=False,
+                                         calibration=True,
+                                         window=args.window)
+        mix = simulation_mix()
+        rate = args.factor * mix.full_load_qps(args.parallelism)
+        run_simulation(mix, SIM_POLICIES[args.policy](),
+                       rate_qps=rate, num_queries=args.queries,
+                       parallelism=args.parallelism, seed=args.seed,
+                       telemetry=telemetry)
+        tracker = telemetry.calibration
+        assert tracker is not None
+        title = (f"{args.policy} @ {args.factor:.2f}x ({rate:,.0f} qps), "
+                 f"seed {args.seed}")
+    if not tracker.qtypes() and not tracker.rejected_total:
+        print("calibrate-report: no decisions joined (does the trace "
+              "carry estimates, or is the sample rate 0?)",
+              file=sys.stderr)
+        return 1
+    print(render_calibration_report(tracker, title=title))
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static rules (and optionally the dynamic lockcheck)."""
     from .analysis import (LintConfig, available_rules, lint_paths,
@@ -390,6 +583,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return cmd_bench(args)
         if args.command == "trace-report":
             return cmd_trace_report(args)
+        if args.command == "spans":
+            return cmd_spans(args)
+        if args.command == "calibrate-report":
+            return cmd_calibrate_report(args)
         if args.command == "lint":
             return cmd_lint(args)
         return cmd_info()

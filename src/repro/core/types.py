@@ -57,7 +57,7 @@ class Query:
 
     __slots__ = ("qtype", "arrival_time", "deadline", "payload", "query_id",
                  "enqueued_at", "dequeued_at", "completed_at",
-                 "service_time")
+                 "service_time", "span_ctx")
 
     def __init__(self, qtype: str, arrival_time: float = 0.0,
                  deadline: Optional[float] = None, payload: Any = None,
@@ -75,6 +75,10 @@ class Query:
         # Hosts may stash the sampled service demand here at admission so it
         # is not re-derived at dispatch (see repro.sim.server).
         self.service_time: Optional[float] = None
+        # Open lifecycle-span handles for a span-sampled query
+        # (a repro.telemetry.spans.SpanContext); None when tracing is off
+        # or the query is unsampled.  Observational only.
+        self.span_ctx: Optional[Any] = None
 
     def __repr__(self) -> str:
         return (f"Query(qtype={self.qtype!r}, "

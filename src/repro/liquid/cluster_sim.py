@@ -227,7 +227,8 @@ class _QueryExecution:
     """Per-query state while a broker engine process walks its rounds."""
 
     __slots__ = ("query", "cost", "broker", "rounds_left", "pending",
-                 "failed", "degraded", "round_successes")
+                 "failed", "degraded", "round_successes", "round_span",
+                 "merge_span")
 
     def __init__(self, query: Query, cost: QueryTypeCost,
                  broker: "BrokerHost") -> None:
@@ -239,6 +240,10 @@ class _QueryExecution:
         self.failed = False
         self.degraded = False
         self.round_successes = 0
+        # Open lifecycle spans for a span-sampled query: the current
+        # fan-out round and its merge (closed in _after_merge).
+        self.round_span = None
+        self.merge_span = None
 
 
 class _SubQuery:
@@ -252,7 +257,7 @@ class _SubQuery:
     """
 
     __slots__ = ("execution", "cost", "primary", "settled", "hedged",
-                 "outstanding", "retries_used")
+                 "outstanding", "retries_used", "span")
 
     def __init__(self, execution: _QueryExecution,
                  primary: int) -> None:
@@ -263,6 +268,9 @@ class _SubQuery:
         self.hedged = False
         self.outstanding = 0
         self.retries_used = 0
+        # Open "subquery" span (child of the round span) for a sampled
+        # query; physical attempts hang off it, closed at settle.
+        self.span = None
 
 
 class ShardHost:
@@ -301,16 +309,21 @@ class ShardHost:
         self.errored_subqueries = 0
 
     def offer(self, parent: Query, service_time: float,
-              callback: Callable[[bool], None]) -> bool:
+              callback: Callable[[bool], None],
+              parent_span=None) -> bool:
         """Submit one sub-query; ``callback(ok)`` fires on the outcome.
 
         Returns True when the sub-query was admitted.  A rejection invokes
         the callback immediately (the error response a real shard returns
-        straight away).
+        straight away).  ``parent_span`` (an open broker-side attempt
+        span) is adopted: this shard's queue/execution/rejection spans
+        land under it, and the shard closes it at the attempt's outcome.
         """
         now = self._sim.now
         subquery = Query(qtype=parent.qtype, arrival_time=now,
                          deadline=parent.deadline)
+        if self._telemetry is not None and parent_span is not None:
+            self._telemetry.span_adopt(subquery, parent_span)
         if self._faults is not None:
             # A blacked-out/crashed/lossy shard refuses before its policy
             # runs; the broker sees the failure immediately and may retry
@@ -395,7 +408,11 @@ class ShardHost:
         self.policy.on_completed(subquery, subquery.wait_time or 0.0,
                                  subquery.processing_time or 0.0)
         if self._telemetry is not None:
-            self._telemetry.on_completion(subquery, now=self._sim.now)
+            if errored:
+                self._telemetry.span_mark_fault(subquery, "engine_error",
+                                                self._sim.now)
+            self._telemetry.on_completion(subquery, now=self._sim.now,
+                                          errored=errored)
         if errored:
             # Injected engine fault: work was done, response is an error —
             # the broker treats it like a refusal (retry/degrade path).
@@ -508,31 +525,54 @@ class BrokerHost:
         targets = self._target_shards(execution.cost)
         execution.pending = len(targets)
         execution.round_successes = 0
+        ctx = execution.query.span_ctx
+        if ctx is not None and ctx.execute is not None:
+            execution.round_span = ctx.execute.child_span(
+                "fanout_round", self._sim.now,
+                round=execution.cost.rounds - execution.rounds_left + 1,
+                targets=len(targets))
         res = self._resilience
         hedgeable = (res is not None and res.hedge_after is not None
                      and execution.cost.fanout == FANOUT_ONE
                      and len(self._shards) > 1)
         for shard in targets:
             sub = _SubQuery(execution, shard.index)
+            if execution.round_span is not None:
+                sub.span = execution.round_span.child_span(
+                    "subquery", self._sim.now, shard=shard.index)
             self._launch(sub, shard)
             if hedgeable:
                 self._sim.schedule_after(
                     res.hedge_after, lambda s=sub: self._fire_hedge(s))
 
     def _launch(self, sub: _SubQuery, shard: ShardHost,
-                delay: float = 0.0) -> None:
-        """Start one physical attempt (now, or after a retry backoff)."""
+                delay: float = 0.0, label: str = "shard_attempt") -> None:
+        """Start one physical attempt (now, or after a retry backoff).
+
+        ``label`` names the attempt span — ``shard_attempt`` for the
+        original issue, ``retry``/``hedge`` for resilience reissues, so
+        the critical-path breakdown attributes their full duration
+        (backoff included) to the right category.
+        """
         sub.outstanding += 1
+        attempt_span = None
+        if sub.span is not None:
+            attempt_span = sub.span.child_span(
+                label, self._sim.now, host=f"shard-{shard.index}",
+                shard=shard.index)
         if delay > 0.0:
             self._sim.schedule_after(
-                delay, lambda: self._issue_now(sub, shard))
+                delay, lambda: self._issue_now(sub, shard, attempt_span))
         else:
-            self._issue_now(sub, shard)
+            self._issue_now(sub, shard, attempt_span)
 
-    def _issue_now(self, sub: _SubQuery, shard: ShardHost) -> None:
+    def _issue_now(self, sub: _SubQuery, shard: ShardHost,
+                   attempt_span=None) -> None:
         if sub.settled:
             # A hedge won while this retry was backing off.
             sub.outstanding -= 1
+            if attempt_span is not None:
+                attempt_span.finish(self._sim.now, status="cancelled")
             return
         service = sub.cost.sample_subquery(self._rng)
         res = self._resilience
@@ -547,7 +587,8 @@ class BrokerHost:
             attempt_done[0] = True
             self._on_sub_outcome(sub, ok)
 
-        shard.offer(sub.execution.query, service, on_outcome)
+        shard.offer(sub.execution.query, service, on_outcome,
+                    parent_span=attempt_span)
         if (not attempt_done[0] and not sub.settled
                 and res is not None and res.subquery_timeout is not None):
             self._sim.schedule_after(res.subquery_timeout,
@@ -560,7 +601,8 @@ class BrokerHost:
         self._metrics.hedges += 1
         if self._telemetry is not None:
             self._telemetry.on_hedge()
-        self._launch(sub, self._alternate_shard(sub.primary))
+        self._launch(sub, self._alternate_shard(sub.primary),
+                     label="hedge")
 
     def _on_sub_outcome(self, sub: _SubQuery, ok: bool) -> None:
         sub.outstanding -= 1
@@ -568,6 +610,9 @@ class BrokerHost:
             return  # another attempt already settled this sub-query
         if ok:
             sub.settled = True
+            if sub.span is not None:
+                sub.span.finish(self._sim.now)
+                sub.span = None
             self._settle_sub(sub.execution, failed=False)
             return
         res = self._resilience
@@ -584,11 +629,15 @@ class BrokerHost:
             else:
                 shard = self._shards[sub.primary]
             self._launch(sub, shard,
-                         delay=res.retry_backoff * sub.retries_used)
+                         delay=res.retry_backoff * sub.retries_used,
+                         label="retry")
             return
         if sub.outstanding > 0:
             return  # a hedge (or backed-off retry) is still in flight
         sub.settled = True
+        if sub.span is not None:
+            sub.span.finish(self._sim.now, status="failed")
+            sub.span = None
         self._settle_sub(sub.execution, failed=True)
 
     def _settle_sub(self, execution: _QueryExecution, failed: bool) -> None:
@@ -610,10 +659,21 @@ class BrokerHost:
         if self._faults is not None:
             overhead = self._faults.shape_service(
                 overhead, execution.query, self._sim.now, self._host)
+        if execution.round_span is not None:
+            execution.merge_span = execution.round_span.child_span(
+                "merge", self._sim.now, host=self._host)
         self._sim.schedule_after(overhead,
                                  lambda: self._after_merge(execution))
 
     def _after_merge(self, execution: _QueryExecution) -> None:
+        if execution.merge_span is not None:
+            execution.merge_span.finish(self._sim.now)
+            execution.merge_span = None
+        if execution.round_span is not None:
+            execution.round_span.finish(
+                self._sim.now,
+                status="failed" if execution.failed else "ok")
+            execution.round_span = None
         execution.rounds_left -= 1
         if execution.failed:
             res = self._resilience
@@ -640,6 +700,9 @@ class BrokerHost:
             # A shard refused a sub-query: the client sees an error, which
             # counts as a rejection attributed downstream.
             self._metrics.record_rejection(query.qtype, at_broker=False)
+            if self._telemetry is not None:
+                self._telemetry.span_complete(query, self._sim.now,
+                                              status="failed")
         else:
             self.policy.on_completed(query, query.wait_time or 0.0,
                                      query.processing_time or 0.0)
@@ -647,6 +710,7 @@ class BrokerHost:
                 self._metrics.degraded += 1
                 if self._telemetry is not None:
                     self._telemetry.on_degraded()
+                    self._telemetry.span_annotate(query, degraded=True)
             self._metrics.record_completion(query)
             if self._telemetry is not None:
                 self._telemetry.on_completion(query, now=self._sim.now)

@@ -195,12 +195,28 @@ class AdmissionServer:
                               expired_count=self.expired_count)
         return base + self.telemetry.render()
 
-    def render_traces(self, limit: Optional[int] = None) -> str:
+    def render_traces(self, limit: Optional[int] = None,
+                      qtype: Optional[str] = None) -> str:
         """Recent decision-trace events as JSONL ("" when tracing is off)."""
         tracer = self.telemetry.tracer
         if tracer is None:
             return ""
-        return tracer.render_jsonl(limit)
+        return tracer.render_jsonl(limit, qtype)
+
+    def render_spans(self, limit: Optional[int] = None,
+                     qtype: Optional[str] = None,
+                     fmt: str = "jsonl") -> str:
+        """Recent lifecycle spans ("" when span tracing is off).
+
+        ``fmt`` is ``"jsonl"`` (one span per line) or ``"chrome"``
+        (Perfetto-loadable trace-event JSON).
+        """
+        spans = self.telemetry.spans
+        if spans is None:
+            return ""
+        if fmt == "chrome":
+            return spans.render_chrome(limit, qtype)
+        return spans.render_jsonl(limit, qtype)
 
     def serve_telemetry(self, host: str = "127.0.0.1",
                         port: int = 0) -> TelemetryHTTPServer:
@@ -212,9 +228,11 @@ class AdmissionServer:
         if self._exposition is None:
             traces_fn = (self.render_traces
                          if self.telemetry.tracer is not None else None)
+            spans_fn = (self.render_spans
+                        if self.telemetry.spans is not None else None)
             self._exposition = TelemetryHTTPServer(
                 metrics_fn=self.render_metrics, traces_fn=traces_fn,
-                host=host, port=port).start()
+                spans_fn=spans_fn, host=host, port=port).start()
         return self._exposition
 
     # -- submission ------------------------------------------------------
@@ -328,7 +346,8 @@ class AdmissionServer:
                 outcome = self._handler(query)
             except Exception as exc:  # propagate into the caller's future
                 query.completed_at = self._clock.now()
-                self.telemetry.on_completion(query, now=query.completed_at)
+                self.telemetry.on_completion(query, now=query.completed_at,
+                                             errored=True)
                 future.set_exception(exc)
                 continue
             if self._faults is not None:
@@ -336,8 +355,11 @@ class AdmissionServer:
                 if self._faults.should_error(query, self._clock.now(),
                                              self._host):
                     query.completed_at = self._clock.now()
+                    self.telemetry.span_mark_fault(
+                        query, "engine_error", query.completed_at)
                     self.telemetry.on_completion(query,
-                                                 now=query.completed_at)
+                                                 now=query.completed_at,
+                                                 errored=True)
                     future.set_exception(InjectedFaultError(
                         f"query {query.query_id} poisoned by fault plan "
                         f"{self._faults.plan.name!r}"))

@@ -289,7 +289,9 @@ class SimulatedServer:
             self.policy.on_completed(query, wait, processing)
             self.metrics.record_completion(query)
         if self._telemetry is not None:
-            self._telemetry.on_completion(query, now=now)
+            if errored:
+                self._telemetry.span_mark_fault(query, "engine_error", now)
+            self._telemetry.on_completion(query, now=now, errored=errored)
         self._account_busy()
         self._idle += 1
         self._dispatch()

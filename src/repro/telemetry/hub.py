@@ -1,22 +1,32 @@
 """The telemetry facade the serving frameworks call at the metric points.
 
 :class:`Telemetry` bundles a :class:`~repro.telemetry.registry
-.MetricsRegistry` and an optional :class:`~repro.telemetry.tracer
-.DecisionTracer` behind the four hooks every host fires (decision,
-dequeue, completion, expiration) plus the fail-open policy-error counter.
-Hosts accept ``telemetry=None`` and skip the calls entirely, so
-uninstrumented runs pay a single ``is None`` test per metric point.
+.MetricsRegistry`, an optional :class:`~repro.telemetry.tracer
+.DecisionTracer`, an optional :class:`~repro.telemetry.spans.SpanRecorder`,
+and an optional :class:`~repro.telemetry.calibration.CalibrationTracker`
+behind the hooks every host fires (decision, dequeue, completion,
+expiration) plus the fail-open policy-error counter.  Hosts accept
+``telemetry=None`` and skip the calls entirely, so uninstrumented runs pay
+a single ``is None`` test per metric point.
 
 One ``Telemetry`` can serve a whole cluster: :meth:`scoped` returns a view
-sharing the registry and tracer but stamping a different ``host`` label
-(``broker-0``, ``shard-3``, …), which is how the LIquid cluster model
-attributes events to hosts.
+sharing the registry, tracer, span recorder, and calibration tracker but
+stamping a different ``host`` label (``broker-0``, ``shard-3``, …), which
+is how the LIquid cluster model attributes events to hosts.
 
 Bouncer evidence (``ewt_mean``, per-percentile ``ert_p``, the SLO targets,
 the cold-start flag) is captured on *sampled* decisions only: the
 percentile estimates ride along on the :class:`~repro.core.types
 .AdmissionResult` for free, and the wait estimate is recomputed from the
-live queue — a cost paid once per sampled query, not per query.
+live queue — a cost paid once per sampled query, not per query.  The span
+recorder and calibration tracker use the same deterministic query-id hash,
+so a sampled query's point events, spans, and calibration join always
+appear together.
+
+Span handles live on ``query.span_ctx`` between hooks; the ``span_*``
+helpers here own every open/close transition, so hosts never hold a raw
+handle (and the ``span-must-finish`` lint discipline concentrates in one
+module).
 """
 
 from __future__ import annotations
@@ -26,8 +36,10 @@ from typing import Optional
 from ..core.bouncer import BouncerPolicy
 from ..core.policy import AdmissionPolicy
 from ..core.starvation import _StarvationWrapper
-from ..core.types import AdmissionResult, Query
+from ..core.types import AdmissionResult, Query, RejectReason
+from .calibration import CalibrationTracker
 from .registry import MetricsRegistry
+from .spans import SpanContext, SpanRecorder
 from .tracer import DecisionTracer, TraceEvent
 
 
@@ -39,7 +51,8 @@ def _unwrap_bouncer(policy: Optional[AdmissionPolicy]
 
 
 class Telemetry:
-    """Registry + optional tracer, stamped with this host's name.
+    """Registry + optional tracer/spans/calibration, stamped with this
+    host's name.
 
     Parameters
     ----------
@@ -50,15 +63,25 @@ class Telemetry:
         records no per-query events.
     host:
         Label stamped on every metric and event this view records.
+    spans:
+        Optional lifecycle-span recorder.  ``None`` disables span
+        emission (hosts pay nothing).
+    calibration:
+        Optional estimator-calibration tracker joining point-1 estimates
+        to point-2/3 measurements.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer: Optional[DecisionTracer] = None,
-                 host: str = "main") -> None:
+                 host: str = "main",
+                 spans: Optional[SpanRecorder] = None,
+                 calibration: Optional[CalibrationTracker] = None) -> None:
         self.registry = registry if registry is not None else (
             MetricsRegistry())
         self.tracer = tracer
         self.host = host
+        self.spans = spans
+        self.calibration = calibration
         reg = self.registry
         self._accepted = reg.counter(
             "accepted_total", "Queries admitted, by host and type.")
@@ -109,13 +132,20 @@ class Telemetry:
             "eq2_recomputes",
             "Full recomputes of Bouncer's incremental Eq. 2 term table "
             "(publish boundaries, bootstrap publishes, resyncs).")
+        self._calibration_gauge = reg.gauge(
+            "estimator_calibration",
+            "Estimator calibration stats: rolling mean signed error and "
+            "APE per estimator term, and rolling SLO attainment, by type "
+            "(synced at render time).")
         # Last-synced FastPathStats per policy, for delta accounting.
         self._fast_seen: dict = {}
 
     def scoped(self, host: str) -> "Telemetry":
-        """A view onto the same registry/tracer under another host label."""
+        """A view onto the same registry/tracer/spans/calibration under
+        another host label."""
         return Telemetry(registry=self.registry, tracer=self.tracer,
-                         host=host)
+                         host=host, spans=self.spans,
+                         calibration=self.calibration)
 
     # -- convenience readers (the runtime server's counter properties) ----
     @property
@@ -148,7 +178,12 @@ class Telemetry:
                        for child in self._degraded.children().values()))
 
     def render(self) -> str:
-        """Exposition text for the shared registry."""
+        """Exposition text for the shared registry (calibration gauges
+        are synced from the tracker first)."""
+        calibration = self.calibration
+        if calibration is not None:
+            for labels, value in calibration.gauge_values():
+                self._calibration_gauge.labels(**labels).set(value)
         return self.registry.render()
 
     # -- metric-point hooks ------------------------------------------------
@@ -171,27 +206,51 @@ class Telemetry:
         if policy is not None:
             self.record_fast_path(policy)
         tracer = self.tracer
-        if tracer is None or not tracer.sampled(query.query_id):
+        calibration = self.calibration
+        query_id = query.query_id
+        trace_this = tracer is not None and tracer.sampled(query_id)
+        calibrate_this = (calibration is not None
+                          and calibration.sampled(query_id))
+        if not trace_this and not calibrate_this:
+            self._span_decision(query, result, now)
             return
-        event = TraceEvent(
-            event="decision", point=1, ts=now, query_id=query.query_id,
-            qtype=qtype, host=self.host, accepted=result.accepted,
-            reason=result.reason.value if result.reason else None,
-            overridden=result.overridden or None,
-            queue_length=queue_length,
-            ert={f"{p:g}": v for p, v in result.estimates.items()})
+        # Bouncer evidence, computed once and shared by both sinks.
+        ewt_mean: Optional[float] = None
+        cold: Optional[bool] = None
+        slo_map: dict = {}
         bouncer = _unwrap_bouncer(policy)
         if bouncer is not None:
-            ewt = bouncer.estimate_wait_mean()
-            event.ewt_mean = ewt
-            self._ewt_gauge.labels(host=self.host).set(ewt)
+            ewt_mean = bouncer.estimate_wait_mean()
+            self._ewt_gauge.labels(host=self.host).set(ewt_mean)
             snap = bouncer.processing_snapshot(qtype)
             cold = snap.count < bouncer.config.min_samples
-            event.cold_start = cold
             slo = (bouncer.slos.default if cold
                    else bouncer.slos.for_type(qtype))
-            event.slo = {f"{p:g}": target for p, target in slo.items()}
-        tracer.record(event)
+            slo_map = {f"{p:g}": target for p, target in slo.items()}
+        ert_map = {f"{p:g}": v for p, v in result.estimates.items()}
+        if trace_this:
+            event = TraceEvent(
+                event="decision", point=1, ts=now, query_id=query_id,
+                qtype=qtype, host=self.host, accepted=result.accepted,
+                reason=result.reason.value if result.reason else None,
+                overridden=result.overridden or None,
+                queue_length=queue_length, ert=ert_map)
+            if bouncer is not None:
+                event.ewt_mean = ewt_mean
+                event.cold_start = cold
+                event.slo = slo_map
+                stats = bouncer.fast_path_stats
+                event.fast_path = {
+                    "estimator_cache_hits": stats.cache_hits,
+                    "estimator_cache_misses": stats.cache_misses,
+                    "eq2_recomputes": stats.eq2_recomputes}
+            tracer.record(event)
+        if calibrate_this:
+            calibration.note_decision(
+                query_id, qtype, accepted=result.accepted,
+                reason=result.reason.value if result.reason else None,
+                ewt_mean=ewt_mean, ert=ert_map, slo=slo_map)
+        self._span_decision(query, result, now)
 
     def record_fast_path(self, policy: AdmissionPolicy) -> None:
         """Sync a Bouncer's :class:`~repro.core.bouncer.FastPathStats`
@@ -221,13 +280,17 @@ class Telemetry:
         self._queue_wait.labels(host=self.host,
                                 qtype=query.qtype).observe(wait)
         tracer = self.tracer
-        if tracer is None or not tracer.sampled(query.query_id):
-            return
-        tracer.record(TraceEvent(
-            event="dequeue", point=2, ts=now, query_id=query.query_id,
-            qtype=query.qtype, host=self.host, wait_time=wait))
+        if tracer is not None and tracer.sampled(query.query_id):
+            tracer.record(TraceEvent(
+                event="dequeue", point=2, ts=now, query_id=query.query_id,
+                qtype=query.qtype, host=self.host, wait_time=wait))
+        calibration = self.calibration
+        if calibration is not None:
+            calibration.note_dequeue(query.query_id, wait)
+        self.span_dequeue(query, now)
 
-    def on_completion(self, query: Query, now: float) -> None:
+    def on_completion(self, query: Query, now: float,
+                      errored: bool = False) -> None:
         """Point 3: ``query`` finished; its response is about to ship."""
         qtype = query.qtype
         processing = query.processing_time or 0.0
@@ -237,28 +300,125 @@ class Telemetry:
         self._response.labels(host=self.host,
                               qtype=qtype).observe(response)
         tracer = self.tracer
-        if tracer is None or not tracer.sampled(query.query_id):
-            return
-        tracer.record(TraceEvent(
-            event="completion", point=3, ts=now,
-            query_id=query.query_id, qtype=qtype, host=self.host,
-            wait_time=query.wait_time, processing_time=processing,
-            response_time=response))
+        if tracer is not None and tracer.sampled(query.query_id):
+            tracer.record(TraceEvent(
+                event="completion", point=3, ts=now,
+                query_id=query.query_id, qtype=qtype, host=self.host,
+                wait_time=query.wait_time, processing_time=processing,
+                response_time=response))
+        calibration = self.calibration
+        if calibration is not None:
+            calibration.note_completion(query.query_id, response)
+        late = query.deadline is not None and now > query.deadline
+        self.span_complete(query, now,
+                           status=("error" if errored
+                                   else "expired" if late else "ok"))
 
     def on_expired(self, query: Query, now: float) -> None:
         """An admitted query was dropped in the queue past its deadline."""
         self._expired.labels(host=self.host).inc()
         tracer = self.tracer
-        if tracer is None or not tracer.sampled(query.query_id):
-            return
-        tracer.record(TraceEvent(
-            event="expired", point=3, ts=now, query_id=query.query_id,
-            qtype=query.qtype, host=self.host,
-            wait_time=query.wait_time))
+        if tracer is not None and tracer.sampled(query.query_id):
+            tracer.record(TraceEvent(
+                event="expired", point=3, ts=now, query_id=query.query_id,
+                qtype=query.qtype, host=self.host,
+                wait_time=query.wait_time))
+        calibration = self.calibration
+        if calibration is not None:
+            calibration.note_expired(query.query_id, query.qtype)
+        self.span_expired(query, now)
 
     def on_policy_error(self) -> None:
         """The host absorbed a policy exception (fail-open admission)."""
         self._policy_errors.labels(host=self.host).inc()
+
+    # -- span lifecycle helpers --------------------------------------------
+    # Hosts never hold raw SpanHandles: every open handle lives on
+    # ``query.span_ctx`` between hooks, and each helper below performs a
+    # complete open/close (or handoff) transition.
+
+    def _span_decision(self, query: Query, result: AdmissionResult,
+                       now: float) -> None:
+        """Open (accepted) or record whole (rejected) the root span."""
+        spans = self.spans
+        if spans is None:
+            return
+        ctx = query.span_ctx
+        if ctx is not None:
+            # Adopted span (a shard-side attempt): the parent trace owns
+            # the root; this host only adds/closes its own phases.
+            if not result.accepted:
+                query.span_ctx = None
+                reason = result.reason.value if result.reason else "unknown"
+                status = ("fault"
+                          if result.reason is RejectReason.FAULT_INJECTED
+                          else "rejected")
+                ctx.root.finish(now, status=status, reason=reason)
+                return
+            ctx.queue = ctx.root.child_span("queue_wait", now,
+                                            host=self.host)
+            return
+        if not result.accepted:
+            reason = result.reason.value if result.reason else "unknown"
+            status = ("fault"
+                      if result.reason is RejectReason.FAULT_INJECTED
+                      else "rejected")
+            spans.record_trace(query.query_id, query.qtype, self.host,
+                               start=query.arrival_time, end=now,
+                               status=status, reason=reason)
+            return
+        ctx = spans.open_lifecycle(query.query_id, query.qtype, self.host,
+                                   query.arrival_time, now)
+        if ctx is None:
+            return
+        if result.overridden:
+            ctx.root.annotate(overridden=True)
+        query.span_ctx = ctx
+
+    def span_adopt(self, query: Query, handle) -> None:
+        """Attach an already-open span handle (opened by another host,
+        e.g. a broker-side attempt span) as ``query``'s root, so this
+        host's queue/execute/close transitions land under it."""
+        if self.spans is None or handle is None:
+            return
+        query.span_ctx = SpanContext(handle,
+                                     execute_name="shard_execute")
+
+    def span_annotate(self, query: Query, **attrs) -> None:
+        """Attach attributes to the query's root span (no-op unsampled)."""
+        ctx = query.span_ctx
+        if ctx is not None:
+            ctx.root.annotate(**attrs)
+
+    def span_dequeue(self, query: Query, now: float) -> None:
+        """Close the queue-wait span and open the execution span."""
+        ctx = query.span_ctx
+        if ctx is not None:
+            self.spans.transition_execute(ctx, now, self.host)
+
+    def span_complete(self, query: Query, now: float,
+                      status: str = "ok") -> None:
+        """Close every phase span still open, then the root span."""
+        ctx = query.span_ctx
+        if ctx is not None:
+            query.span_ctx = None
+            self.spans.finish_lifecycle(ctx, now, status)
+
+    def span_expired(self, query: Query, now: float) -> None:
+        """Close all open spans for a query dropped in the queue."""
+        ctx = query.span_ctx
+        if ctx is not None:
+            query.span_ctx = None
+            self.spans.finish_lifecycle(ctx, now, "expired")
+
+    def span_mark_fault(self, query: Query, kind: str,
+                        now: float) -> None:
+        """Attach an instantaneous fault marker to the query's trace."""
+        ctx = query.span_ctx
+        if ctx is None:
+            return
+        target = ctx.execute if ctx.execute is not None else ctx.root
+        target.marker("fault", now, status="fault", kind=kind)
 
     # -- chaos hooks (fault injection and the resilience it triggers) ------
     def on_fault_injected(self, kind: str, qtype: str = "") -> None:

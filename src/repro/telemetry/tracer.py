@@ -64,6 +64,9 @@ class TraceEvent:
     wait_time: Optional[float] = None
     processing_time: Optional[float] = None
     response_time: Optional[float] = None
+    #: Cumulative estimator fast-path counters at decision time
+    #: (``estimator_cache_hits``/``misses``, ``eq2_recomputes``).
+    fast_path: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Compact dict form: ``None`` and empty-mapping fields omitted."""
@@ -80,6 +83,8 @@ class TraceEvent:
             out["ert"] = self.ert
         if self.slo:
             out["slo"] = self.slo
+        if self.fast_path:
+            out["fast_path"] = self.fast_path
         return out
 
     def to_json(self) -> str:
@@ -99,7 +104,8 @@ class TraceEvent:
             cold_start=data.get("cold_start"),
             wait_time=data.get("wait_time"),
             processing_time=data.get("processing_time"),
-            response_time=data.get("response_time"))
+            response_time=data.get("response_time"),
+            fast_path=dict(data.get("fast_path", {})))
 
 
 class DecisionTracer:
@@ -156,10 +162,15 @@ class DecisionTracer:
         with self._lock:
             return len(self._events)
 
-    def events(self, limit: Optional[int] = None) -> List[TraceEvent]:
-        """Snapshot of retained events, oldest first (newest when limited)."""
+    def events(self, limit: Optional[int] = None,
+               qtype: Optional[str] = None) -> List[TraceEvent]:
+        """Snapshot of retained events, oldest first (newest when limited),
+        optionally restricted to one query type."""
         with self._lock:
             snapshot = list(self._events)
+        if qtype is not None:
+            snapshot = [event for event in snapshot
+                        if event.qtype == qtype]
         if limit is not None and limit >= 0:
             snapshot = snapshot[-limit:]
         return snapshot
@@ -170,9 +181,10 @@ class DecisionTracer:
             self.recorded = 0
 
     # -- export ----------------------------------------------------------
-    def render_jsonl(self, limit: Optional[int] = None) -> str:
+    def render_jsonl(self, limit: Optional[int] = None,
+                     qtype: Optional[str] = None) -> str:
         """Retained events as JSONL text (``/traces`` endpoint body)."""
-        lines = [event.to_json() for event in self.events(limit)]
+        lines = [event.to_json() for event in self.events(limit, qtype)]
         if not lines:
             return ""
         return "\n".join(lines) + "\n"

@@ -1,0 +1,22 @@
+"""Deliberate span-lifecycle violations (lint fixture; never run)."""
+
+
+def discard_root(spans, query, now):
+    spans.begin_trace(query.query_id, query.qtype, "main", now)  # line 5
+
+
+def discard_child(root, now):
+    root.child_span("queue_wait", now)  # line 9
+
+
+def leak_local_root(spans, query, now):
+    root = spans.begin_trace(query.query_id, query.qtype, "main", now)
+    if root is None:
+        return
+    root.annotate(accepted=True)  # reads only; never finished
+
+
+def leak_local_child(root, now):
+    child = root.child_span("execute", now)
+    child.annotate(shard=3)
+    return now  # child neither finished nor handed off

@@ -1,0 +1,34 @@
+"""Span-lifecycle idioms the rule must accept (lint fixture; never run)."""
+
+
+def finish_straight_line(root, now):
+    child = root.child_span("execute", now)
+    child.finish(now + 0.001)
+
+
+def finish_in_finally(spans, query, now, clock):
+    root = spans.begin_trace(query.query_id, query.qtype, "main", now)
+    try:
+        return query.qtype
+    finally:
+        if root is not None:
+            root.finish(clock.now())
+
+
+def hand_off_to_attribute(ctx, now):
+    queue = ctx.root.child_span("queue_wait", now)
+    ctx.queue = queue
+
+
+def hand_off_as_argument(sub, shard, now, launch):
+    attempt = sub.span.child_span("shard_attempt", now, shard=shard.index)
+    launch(sub, shard, attempt)
+
+
+def hand_off_by_return(root, now):
+    merge = root.child_span("merge", now)
+    return merge
+
+
+def marker_is_self_closing(root, now):
+    root.marker("fault", now, status="fault", kind="engine_error")

@@ -109,6 +109,37 @@ class TestNoSwallowedEngineErrors:
         assert lint_fixture("except_ok.py") == []
 
 
+class TestSpanMustFinish:
+    #: Fixtures live under ``tests/``, which the rule allowlists by
+    #: default — clear the allowlist so the fixtures are actually linted.
+    NO_ALLOW = {"span-must-finish": ()}
+
+    def test_fires_on_discarded_and_leaked_handles(self):
+        violations = lint_fixture("span_bad.py", allow_paths=self.NO_ALLOW)
+        assert rules_fired(violations) == {"span-must-finish"}
+        assert lines_fired(violations, "span-must-finish") == [5, 9, 13, 20]
+
+    def test_silent_on_closing_idioms(self):
+        assert lint_fixture("span_ok.py", allow_paths=self.NO_ALLOW) == []
+
+    def test_tests_are_allowlisted_by_default(self):
+        assert lint_fixture("span_bad.py") == []
+
+    def test_handle_closed_by_nested_def_is_the_one_blind_spot(self):
+        # Handles finished only inside a closure still fire: ownership
+        # across a nested def is opaque to the per-function analysis, so
+        # such code should hand the handle to the closure explicitly.
+        source = ("def f(spans, q, now, defer):\n"
+                  "    root = spans.begin_trace(q.qid, q.qtype, 'm', now)\n"
+                  "    def later(ts):\n"
+                  "        root.finish(ts)\n"
+                  "    defer(later)\n")
+        violations = lint_source(
+            source, "src/repro/x.py",
+            LintConfig(select={"span-must-finish"}))
+        assert lines_fired(violations, "span-must-finish") == [2]
+
+
 class TestSuppressions:
     def test_only_the_wrong_rule_name_still_fires(self):
         violations = lint_fixture("suppressed.py")
@@ -125,7 +156,8 @@ class TestFramework:
     def test_every_documented_rule_is_registered(self):
         names = set(available_rules())
         assert {"no-wall-clock", "seeded-rng-only", "no-simtime-float-eq",
-                "lock-discipline", "no-swallowed-engine-errors"} <= names
+                "lock-discipline", "no-swallowed-engine-errors",
+                "span-must-finish"} <= names
 
     def test_select_runs_only_chosen_rules(self):
         violations = lint_fixture("wall_clock_bad.py",

@@ -9,9 +9,11 @@ sequences and report percentiles with the Bouncer fast path on
 
 import json
 
-from repro.bench.perf import (BENCH_ID, BenchScale, bench_decisions,
-                              bench_histogram, bench_simulator,
-                              check_baseline, render_summary, run_bench,
+from repro.bench.perf import (BENCH_ID, SPAN_GATE_SAMPLE_RATE,
+                              SPAN_OVERHEAD_TOLERANCE, BenchScale,
+                              bench_decisions, bench_histogram,
+                              bench_simulator, check_baseline,
+                              render_summary, run_bench,
                               run_parallel_experiments, write_results)
 from repro.bench.experiments import make_bouncer, simulation_mix
 from repro.cli import main
@@ -53,9 +55,15 @@ class TestMicrobenchmarks:
         doc = bench_decisions(200)
         rates = doc["decisions_per_sec"]
         assert set(rates) == {"bouncer_fast", "bouncer_naive", "maxql",
-                              "maxqwt"}
+                              "maxqwt", "bouncer_fast_telemetry",
+                              "bouncer_fast_spans"}
         assert all(rate > 0 for rate in rates.values())
         assert "bouncer_fast_vs_naive_speedup" in doc
+        assert doc["span_gate_sample_rate"] == SPAN_GATE_SAMPLE_RATE
+        # Ratios, not rates: can exceed 0 or dip below it with noise, but
+        # must always be < 1 (spans can't consume all throughput).
+        assert doc["span_overhead_sampled"] < 1.0
+        assert doc["span_overhead_full_sampling"] < 1.0
         counters = doc["fast_path_counters"]["bouncer_fast"]
         assert counters["cache_hits"] > 0
 
@@ -130,6 +138,19 @@ class TestBaselineGate:
         baseline = {"decisions_per_sec": {"bouncer_fast": 100.0,
                                           "other_policy": 500.0}}
         assert check_baseline(current, baseline) == []
+
+    def test_span_overhead_budget_enforced(self):
+        baseline = {"decisions_per_sec": {}}
+        over = {"decisions_per_sec": {},
+                "span_overhead_sampled": SPAN_OVERHEAD_TOLERANCE + 0.05,
+                "span_gate_sample_rate": SPAN_GATE_SAMPLE_RATE}
+        problems = check_baseline(over, baseline)
+        assert len(problems) == 1
+        assert "span tracing" in problems[0]
+        under = dict(over, span_overhead_sampled=SPAN_OVERHEAD_TOLERANCE / 2)
+        assert check_baseline(under, baseline) == []
+        # Absent key (older documents): no gate, no crash.
+        assert check_baseline({"decisions_per_sec": {}}, baseline) == []
 
 
 class TestBenchCLI:

@@ -1,0 +1,210 @@
+"""Tests for estimator calibration (``repro.telemetry.calibration``).
+
+Covers the point-1 → point-2/3 join, signed/APE error series, rolling
+SLO attainment, exclusive rejection attribution (the acceptance
+criterion: attribution counts sum to the rejected total), offline
+replay from an exported decision trace, and the rendered report.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.telemetry import (CalibrationTracker, DecisionTracer,
+                             TraceEvent, calibration_from_events,
+                             render_calibration_report)
+
+
+def feed_happy_join(tracker, query_id=2, qtype="edge"):
+    """One accepted decision joined to its dequeue + completion."""
+    tracker.note_decision(query_id, qtype, accepted=True, reason=None,
+                          ewt_mean=0.010,
+                          ert={"50": 0.020, "90": 0.040},
+                          slo={"50": 0.030, "90": 0.050})
+    tracker.note_dequeue(query_id, wait_time=0.015)
+    tracker.note_completion(query_id, response_time=0.025)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationTracker(window=0)
+        with pytest.raises(ConfigurationError):
+            CalibrationTracker(max_pending=0)
+        with pytest.raises(ConfigurationError):
+            CalibrationTracker(sample_rate=2.0)
+
+
+class TestJoinMath:
+    def test_signed_errors_and_attainment(self):
+        tracker = CalibrationTracker()
+        feed_happy_join(tracker)
+        stat = tracker.type_stats("edge")
+        # Point 2: measured wait 15ms vs predicted 10ms -> +5ms signed,
+        # APE |5|/15.
+        assert stat.ewt_signed_mean == pytest.approx(0.005)
+        assert stat.ewt_ape_mean == pytest.approx(0.005 / 0.015)
+        # Point 3: measured 25ms vs ert_p50=20ms (+5ms) / ert_p90=40ms
+        # (-15ms, overestimate).
+        assert stat.ert_signed_mean["50"] == pytest.approx(0.005)
+        assert stat.ert_signed_mean["90"] == pytest.approx(-0.015)
+        assert stat.ert_ape_mean["90"] == pytest.approx(0.015 / 0.025)
+        # 25ms meets the 30ms p50 target and the 50ms p90 target.
+        assert stat.attainment == {"50": 1.0, "90": 1.0}
+        assert stat.joined == 1 and stat.rejected == 0
+        assert tracker.pending_count == 0
+
+    def test_completion_without_decision_is_ignored(self):
+        tracker = CalibrationTracker()
+        tracker.note_dequeue(99, wait_time=0.01)
+        tracker.note_completion(99, response_time=0.01)
+        assert tracker.qtypes() == []
+
+    def test_expiry_abandons_join_and_records_misses(self):
+        tracker = CalibrationTracker()
+        tracker.note_decision(2, "edge", accepted=True, reason=None,
+                              ewt_mean=0.001, ert={"90": 0.040},
+                              slo={"90": 0.050})
+        tracker.note_expired(2, "edge")
+        stat = tracker.type_stats("edge")
+        assert stat.expired == 1 and stat.joined == 0
+        assert stat.attainment == {"90": 0.0}
+        assert tracker.pending_count == 0
+        # An expiry for a never-pending query still counts per type.
+        tracker.note_expired(77, "slow")
+        assert tracker.type_stats("slow").expired == 1
+
+    def test_pending_table_is_bounded(self):
+        tracker = CalibrationTracker(max_pending=3)
+        for i in range(1, 6):
+            tracker.note_decision(i, "edge", accepted=True, reason=None,
+                                  ewt_mean=0.001, ert={}, slo={})
+        assert tracker.pending_count == 3
+        assert tracker.evicted == 2
+        # The evicted (oldest) joins are gone; the newest still complete.
+        tracker.note_completion(1, response_time=0.01)
+        tracker.note_completion(5, response_time=0.01)
+        assert tracker.type_stats("edge").joined == 1
+
+    def test_sampling_is_deterministic_and_shared(self):
+        tracker = CalibrationTracker(sample_rate=0.3)
+        tracer = DecisionTracer(sample_rate=0.3)
+        assert [tracker.sampled(i) for i in range(300)] == \
+            [tracer.sampled(i) for i in range(300)]
+        zero = CalibrationTracker(sample_rate=0.0)
+        zero.note_decision(1, "edge", accepted=False,
+                           reason="queue_full", ewt_mean=None,
+                           ert={}, slo={})
+        assert zero.rejected_total == 0 and zero.qtypes() == []
+
+
+class TestRejectionAttribution:
+    def test_breached_percentile_labels_are_exclusive(self):
+        tracker = CalibrationTracker()
+        # p90 alone breached.
+        tracker.note_decision(1, "edge", accepted=False,
+                              reason="slo_estimate", ewt_mean=None,
+                              ert={"50": 0.010, "90": 0.060},
+                              slo={"50": 0.030, "90": 0.050})
+        # Both percentiles breached -> one joint label.
+        tracker.note_decision(2, "edge", accepted=False,
+                              reason="slo_estimate", ewt_mean=None,
+                              ert={"50": 0.040, "90": 0.060},
+                              slo={"50": 0.030, "90": 0.050})
+        # Non-estimate rejection keeps its reason.
+        tracker.note_decision(3, "edge", accepted=False,
+                              reason="queue_full", ewt_mean=None,
+                              ert={}, slo={})
+        # slo_estimate with no recorded estimates stays generic.
+        tracker.note_decision(4, "slow", accepted=False,
+                              reason="slo_estimate", ewt_mean=None,
+                              ert={}, slo={})
+        attribution = tracker.rejection_attribution()
+        assert attribution["edge"] == {"p90": 1, "p50+p90": 1,
+                                       "queue_full": 1}
+        assert attribution["slow"] == {"slo_estimate": 1}
+        # Acceptance criterion: exclusive counters sum to the total.
+        total = sum(count for per_type in attribution.values()
+                    for count in per_type.values())
+        assert total == tracker.rejected_total == 4
+
+    def test_missing_reason_is_unknown(self):
+        tracker = CalibrationTracker()
+        tracker.note_decision(1, "edge", accepted=False, reason=None,
+                              ewt_mean=None, ert={}, slo={})
+        assert tracker.rejection_attribution()["edge"] == {"unknown": 1}
+
+
+class TestOfflineReplay:
+    def events(self):
+        return [
+            TraceEvent(event="decision", point=1, ts=0.0, query_id=2,
+                       qtype="edge", accepted=True, ewt_mean=0.010,
+                       ert={"50": 0.020, "90": 0.040},
+                       slo={"50": 0.030, "90": 0.050}),
+            TraceEvent(event="dequeue", point=2, ts=0.1, query_id=2,
+                       qtype="edge", wait_time=0.015),
+            TraceEvent(event="completion", point=3, ts=0.2, query_id=2,
+                       qtype="edge", response_time=0.025),
+            TraceEvent(event="decision", point=1, ts=0.3, query_id=3,
+                       qtype="edge", accepted=False,
+                       reason="slo_estimate",
+                       ert={"90": 0.060}, slo={"90": 0.050}),
+            TraceEvent(event="decision", point=1, ts=0.4, query_id=4,
+                       qtype="slow", accepted=True, ewt_mean=0.002,
+                       ert={"90": 0.100}, slo={"90": 0.150}),
+            TraceEvent(event="expired", point=3, ts=0.9, query_id=4,
+                       qtype="slow"),
+        ]
+
+    def test_replay_matches_live_feed(self):
+        live = CalibrationTracker()
+        feed_happy_join(live)
+        replayed = calibration_from_events(self.events())
+        live_stat = live.type_stats("edge")
+        replay_stat = replayed.type_stats("edge")
+        assert replay_stat.ewt_signed_mean == live_stat.ewt_signed_mean
+        assert replay_stat.ert_signed_mean == live_stat.ert_signed_mean
+        assert replay_stat.attainment == live_stat.attainment
+        assert replayed.rejection_attribution()["edge"] == {"p90": 1}
+        assert replayed.type_stats("slow").expired == 1
+        assert replayed.rejected_total == 1
+
+    def test_window_is_forwarded(self):
+        replayed = calibration_from_events(self.events(), window=7)
+        assert replayed.window == 7
+
+
+class TestReportAndGauges:
+    def build(self):
+        tracker = CalibrationTracker()
+        feed_happy_join(tracker)
+        tracker.note_decision(3, "edge", accepted=False,
+                              reason="slo_estimate", ewt_mean=None,
+                              ert={"90": 0.060}, slo={"90": 0.050})
+        return tracker
+
+    def test_report_contains_both_tables(self):
+        text = render_calibration_report(self.build(), title="unit run")
+        assert "Estimator calibration" in text
+        assert "Rejection attribution by Algorithm 1 term" in text
+        assert "unit run" in text
+        for token in ("ewt err (ms)", "ert_p90 err (ms)", "p90 att",
+                      "p90", "ALL"):
+            assert token in text
+        # Signed errors render with an explicit sign.
+        assert "+5.000" in text
+        assert "-15.000" in text
+
+    def test_gauge_values_flatten_every_series(self):
+        pairs = self.build().gauge_values()
+        keys = {(labels["estimator"], labels["stat"])
+                for labels, _ in pairs}
+        assert keys == {("ewt_mean", "signed_error_mean"),
+                        ("ewt_mean", "ape_mean"),
+                        ("ert_p50", "signed_error_mean"),
+                        ("ert_p50", "ape_mean"),
+                        ("ert_p90", "signed_error_mean"),
+                        ("ert_p90", "ape_mean"),
+                        ("slo_p50", "attainment"),
+                        ("slo_p90", "attainment")}
+        assert all(labels["qtype"] == "edge" for labels, _ in pairs)

@@ -61,3 +61,115 @@ class TestCommands:
         assert "maxqwt" in out
         assert "QT11" in out
         assert "cluster-equivalent" in out
+
+
+class TestSpansCommand:
+    def test_simulated_run_prints_breakdown_and_exports(self, tmp_path,
+                                                        capsys):
+        out_jsonl = tmp_path / "spans.jsonl"
+        chrome = tmp_path / "trace.json"
+        code = main(["spans", "--queries", "1500", "--parallelism", "40",
+                     "--seed", "3", "--out", str(out_jsonl),
+                     "--chrome-out", str(chrome)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Critical-path breakdown" in out
+        assert "queue (ms)" in out
+        assert "Perfetto" in out
+        from repro.telemetry import load_spans_jsonl
+        spans = load_spans_jsonl(str(out_jsonl))
+        assert spans and all(s.end is not None for s in spans)
+        import json
+        assert json.loads(chrome.read_text())["traceEvents"]
+
+    def test_cluster_run_traces_shard_execution(self, capsys):
+        code = main(["spans", "--cluster", "--queries", "400",
+                     "--rate", "9000", "--seed", "3",
+                     "--sample-rate", "0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Critical-path breakdown" in out
+        assert "cluster @ 9,000 qps" in out
+
+    def test_qtype_filter_restricts_report(self, capsys):
+        code = main(["spans", "--queries", "1500", "--parallelism", "40",
+                     "--seed", "3", "--qtype", "slow"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slow" in out
+        assert "medium_fast" not in out
+
+    def test_input_file_replaces_simulation(self, tmp_path, capsys):
+        from repro.telemetry import SpanRecorder
+        recorder = SpanRecorder(sample_rate=1.0)
+        recorder.record_trace(2, "edge", "srv", 0.0, 0.5)
+        path = tmp_path / "run.jsonl"
+        recorder.export_jsonl(str(path))
+        assert main(["spans", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert str(path) in out and "edge" in out
+
+    def test_missing_input_is_error(self, tmp_path, capsys):
+        code = main(["spans", "--input", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_input_is_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["spans", "--input", str(path)]) == 1
+        assert "malformed span" in capsys.readouterr().err
+
+    def test_sample_rate_validated(self, capsys):
+        assert main(["spans", "--sample-rate", "2.0"]) == 2
+        assert "sample rate" in capsys.readouterr().err
+
+    def test_zero_sample_rate_yields_no_spans_error(self, capsys):
+        code = main(["spans", "--queries", "400", "--parallelism", "40",
+                     "--sample-rate", "0.0"])
+        assert code == 1
+        assert "no spans recorded" in capsys.readouterr().err
+
+
+class TestCalibrateReportCommand:
+    def test_simulated_run_prints_calibration_tables(self, capsys):
+        code = main(["calibrate-report", "--queries", "2000",
+                     "--parallelism", "40", "--seed", "3",
+                     "--factor", "1.4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Estimator calibration" in out
+        assert "Rejection attribution by Algorithm 1 term" in out
+
+    def test_trace_replay(self, tmp_path, capsys):
+        from repro.telemetry import DecisionTracer, TraceEvent
+        tracer = DecisionTracer()
+        tracer.record(TraceEvent(
+            event="decision", point=1, ts=0.0, query_id=2, qtype="edge",
+            accepted=True, ewt_mean=0.01, ert={"90": 0.04},
+            slo={"90": 0.05}))
+        tracer.record(TraceEvent(
+            event="completion", point=3, ts=0.2, query_id=2,
+            qtype="edge", response_time=0.025))
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        assert main(["calibrate-report", "--trace", str(path),
+                     "--window", "64"]) == 0
+        out = capsys.readouterr().out
+        assert str(path) in out and "edge" in out
+
+    def test_missing_trace_is_error(self, tmp_path, capsys):
+        code = main(["calibrate-report", "--trace",
+                     str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_without_estimates_is_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["calibrate-report", "--trace", str(path)]) == 1
+        assert "no decisions joined" in capsys.readouterr().err
+
+    def test_sample_rate_validated(self, capsys):
+        assert main(["calibrate-report", "--sample-rate", "-1"]) == 2
+        assert "sample rate" in capsys.readouterr().err

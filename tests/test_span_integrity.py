@@ -1,0 +1,141 @@
+"""Property test: join integrity across the observability sinks.
+
+The decision tracer, span recorder, and calibration tracker all apply
+the same deterministic sampling hash to the root query id, so for any
+schedule of query outcomes — rejection, completion, expiry, injected
+fault — a sampled query appears in *every* sink and an unsampled query
+appears in *none* (all-or-nothing join integrity).  Spans additionally
+must drain: after every query has exited, no span is left open,
+whatever the exit path was.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import AdmissionResult, Query, RejectReason
+from repro.telemetry import (CalibrationTracker, DecisionTracer,
+                             SpanRecorder, Telemetry)
+
+OUTCOMES = ("complete", "reject", "expire", "fault_reject",
+            "fault_complete", "error")
+
+schedules = st.lists(
+    st.tuples(st.sampled_from(["edge", "slow", "bulk"]),
+              st.sampled_from(OUTCOMES)),
+    min_size=1, max_size=60)
+
+
+def run_schedule(schedule, sample_rate, first_id):
+    """Drive one query per schedule entry through the Telemetry hooks
+    exactly as a host would, returning the hub and the outcome map."""
+    telemetry = Telemetry(
+        tracer=DecisionTracer(sample_rate=sample_rate),
+        spans=SpanRecorder(sample_rate=sample_rate),
+        calibration=CalibrationTracker(sample_rate=sample_rate),
+        host="prop")
+    outcomes = {}
+    now = 0.0
+    for offset, (qtype, outcome) in enumerate(schedule):
+        query = Query(qtype=qtype, arrival_time=now,
+                      query_id=first_id + offset)
+        outcomes[query.query_id] = outcome
+        if outcome in ("reject", "fault_reject"):
+            reason = (RejectReason.FAULT_INJECTED
+                      if outcome == "fault_reject"
+                      else RejectReason.QUEUE_FULL)
+            telemetry.on_decision(query, AdmissionResult.reject(reason),
+                                  now=now)
+        else:
+            telemetry.on_decision(
+                query, AdmissionResult.accept(estimates={90: 0.05}),
+                now=now)
+            query.enqueued_at = now
+            now += 0.001
+            if outcome == "expire":
+                telemetry.on_expired(query, now=now)
+            else:
+                query.dequeued_at = now
+                telemetry.on_dequeue(query, now=now)
+                if outcome == "fault_complete":
+                    telemetry.span_mark_fault(query, "stall", now=now)
+                now += 0.002
+                query.completed_at = now
+                telemetry.on_completion(query, now=now,
+                                        errored=(outcome == "error"))
+        assert query.span_ctx is None
+        now += 0.0005
+    return telemetry, outcomes
+
+
+ROOT_STATUS = {"complete": "ok", "reject": "rejected",
+               "fault_reject": "fault", "expire": "expired",
+               "fault_complete": "ok", "error": "error"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=schedules,
+       sample_rate=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+       first_id=st.integers(min_value=1, max_value=10 ** 6))
+def test_sinks_sample_all_or_nothing(schedule, sample_rate, first_id):
+    telemetry, outcomes = run_schedule(schedule, sample_rate, first_id)
+    tracer = telemetry.tracer
+    recorder = telemetry.spans
+    calibration = telemetry.calibration
+
+    sampled = {qid for qid in outcomes if recorder.sampled(qid)}
+    # One hash, three sinks: identical verdicts everywhere.
+    for qid in outcomes:
+        assert tracer.sampled(qid) == (qid in sampled)
+        assert calibration.sampled(qid) == (qid in sampled)
+
+    # Tracer: every sampled query has a decision event; no unsampled
+    # query has any event.
+    traced = {e.query_id for e in tracer.events()}
+    assert traced == sampled
+
+    # Spans: exactly one root per sampled query, none left open, and the
+    # root status reflects the exit path.
+    assert recorder.open_count == 0
+    assert recorder.open_spans() == []
+    spans = recorder.spans()
+    assert all(span.end is not None for span in spans)
+    roots = {s.trace_id: s for s in spans if s.parent_id is None}
+    assert set(roots) == sampled
+    assert {s.trace_id for s in spans} == sampled
+    for qid, root in roots.items():
+        assert root.status == ROOT_STATUS[outcomes[qid]]
+
+    # Fault markers appear on exactly the sampled fault_complete traces.
+    fault_marks = {s.trace_id for s in spans if s.name == "fault"}
+    assert fault_marks == {qid for qid in sampled
+                           if outcomes[qid] == "fault_complete"}
+
+    # Calibration: the join table drains (every admitted sampled query
+    # either completed or expired), rejections are counted exclusively,
+    # and joins + expiries add up to the sampled admitted population.
+    assert calibration.pending_count == 0
+    rejected = {qid for qid in sampled
+                if outcomes[qid] in ("reject", "fault_reject")}
+    attribution = calibration.rejection_attribution()
+    assert sum(count for per_type in attribution.values()
+               for count in per_type.values()) == len(rejected)
+    assert calibration.rejected_total == len(rejected)
+    stats = calibration.stats()
+    assert sum(s.joined for s in stats.values()) == len(
+        [qid for qid in sampled
+         if outcomes[qid] in ("complete", "fault_complete", "error")])
+    assert sum(s.expired for s in stats.values()) == len(
+        [qid for qid in sampled if outcomes[qid] == "expire"])
+
+    # recorded spans never exceed 3 per lifecycle + 1 fault marker.
+    assert recorder.recorded <= 4 * len(sampled)
+
+
+@settings(max_examples=15, deadline=None)
+@given(schedule=schedules, first_id=st.integers(1, 10 ** 6))
+def test_seeded_schedules_are_reproducible(schedule, first_id):
+    """Two identical runs produce byte-identical span exports."""
+    first, _ = run_schedule(schedule, 0.5, first_id)
+    second, _ = run_schedule(schedule, 0.5, first_id)
+    assert first.spans.render_jsonl() == second.spans.render_jsonl()
+    assert first.tracer.render_jsonl() == second.tracer.render_jsonl()

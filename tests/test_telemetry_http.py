@@ -1,4 +1,6 @@
-"""Tests for the HTTP telemetry exposition (``/metrics``, ``/traces``)."""
+"""Tests for the HTTP telemetry exposition (``/metrics``, ``/traces``,
+``/spans``): routing, filter/format validation, and live scrapes off a
+running :class:`~repro.runtime.server.AdmissionServer`."""
 
 import json
 import urllib.error
@@ -10,9 +12,12 @@ from repro.core import (AlwaysAcceptPolicy, BouncerConfig, BouncerPolicy,
                         LatencySLO, SLORegistry)
 from repro.core.types import Query
 from repro.runtime import AdmissionServer
-from repro.telemetry import (DecisionTracer, Telemetry, TelemetryHTTPServer,
-                             parse_jsonl)
-from repro.telemetry.http import METRICS_CONTENT_TYPE
+from repro.telemetry import (DecisionTracer, SpanRecorder, Telemetry,
+                             TelemetryHTTPServer, parse_jsonl,
+                             parse_spans_jsonl)
+from repro.telemetry.http import (CHROME_TRACE_CONTENT_TYPE,
+                                  METRICS_CONTENT_TYPE,
+                                  TRACES_CONTENT_TYPE)
 
 
 def fetch(url, expect_status=200):
@@ -47,17 +52,47 @@ class TestTelemetryHTTPServer:
             assert status == 404
             assert "not enabled" in body
 
-    def test_traces_limit_validation(self):
-        def traces(limit):
-            return f"limit={limit}\n"
+    def test_traces_limit_and_qtype_validation(self):
+        def traces(limit, qtype):
+            return f"limit={limit} qtype={qtype}\n"
 
         with TelemetryHTTPServer(metrics_fn=lambda: "",
                                  traces_fn=traces) as srv:
             status, _, body = fetch(f"{srv.url}/traces?limit=3")
-            assert status == 200 and body == "limit=3\n"
+            assert status == 200 and body == "limit=3 qtype=None\n"
             status, _, body = fetch(f"{srv.url}/traces")
-            assert status == 200 and body == "limit=None\n"
+            assert status == 200 and body == "limit=None qtype=None\n"
+            status, _, body = fetch(f"{srv.url}/traces?limit=2&qtype=slow")
+            assert status == 200 and body == "limit=2 qtype=slow\n"
             status, _, body = fetch(f"{srv.url}/traces?limit=bogus")
+            assert status == 400
+            assert "bad limit" in body
+
+    def test_spans_404_when_disabled(self):
+        with TelemetryHTTPServer(metrics_fn=lambda: "") as srv:
+            status, _, body = fetch(f"{srv.url}/spans")
+            assert status == 404
+            assert "not enabled" in body
+
+    def test_spans_filters_and_format_validation(self):
+        def spans(limit, qtype, fmt):
+            return f"limit={limit} qtype={qtype} fmt={fmt}\n"
+
+        with TelemetryHTTPServer(metrics_fn=lambda: "",
+                                 spans_fn=spans) as srv:
+            status, ctype, body = fetch(f"{srv.url}/spans")
+            assert status == 200
+            assert ctype == TRACES_CONTENT_TYPE
+            assert body == "limit=None qtype=None fmt=jsonl\n"
+            status, ctype, body = fetch(
+                f"{srv.url}/spans?limit=4&qtype=fast&format=chrome")
+            assert status == 200
+            assert ctype == CHROME_TRACE_CONTENT_TYPE
+            assert body == "limit=4 qtype=fast fmt=chrome\n"
+            status, _, body = fetch(f"{srv.url}/spans?format=svg")
+            assert status == 400
+            assert "bad format" in body
+            status, _, body = fetch(f"{srv.url}/spans?limit=nope")
             assert status == 400
             assert "bad limit" in body
 
@@ -127,6 +162,46 @@ class TestAdmissionServerScrape:
             assert len(body.strip().splitlines()) == 2
             for line in body.strip().splitlines():
                 json.loads(line)  # each line is standalone JSON
+
+    def test_traces_qtype_filter_on_live_server(self):
+        telemetry = Telemetry(tracer=DecisionTracer(sample_rate=1.0))
+        with self.make_bouncer_server(telemetry) as server:
+            exposition = server.serve_telemetry()
+            for _ in range(4):
+                server.submit(Query(qtype="edge")).result(timeout=2.0)
+            status, _, body = fetch(f"{exposition.url}/traces?qtype=edge")
+            assert status == 200
+            events = parse_jsonl(body)
+            assert events and all(e.qtype == "edge" for e in events)
+            status, _, body = fetch(f"{exposition.url}/traces?qtype=other")
+            assert status == 200 and body.strip() == ""
+
+    def test_spans_endpoint_serves_both_formats(self):
+        telemetry = Telemetry(spans=SpanRecorder(sample_rate=1.0))
+        with self.make_bouncer_server(telemetry) as server:
+            exposition = server.serve_telemetry()
+            for _ in range(3):
+                server.submit(Query(qtype="edge")).result(timeout=2.0)
+            status, ctype, body = fetch(f"{exposition.url}/spans")
+            assert status == 200 and ctype == TRACES_CONTENT_TYPE
+            spans = parse_spans_jsonl(body)
+            assert {s.name for s in spans} >= {"query", "queue_wait",
+                                               "execute"}
+            assert all(s.end is not None for s in spans)
+            status, ctype, body = fetch(
+                f"{exposition.url}/spans?format=chrome")
+            assert status == 200 and ctype == CHROME_TRACE_CONTENT_TYPE
+            doc = json.loads(body)
+            assert doc["traceEvents"]
+            status, _, body = fetch(f"{exposition.url}/spans?qtype=other")
+            assert status == 200 and body.strip() == ""
+
+    def test_spans_404_without_recorder(self):
+        telemetry = Telemetry(tracer=DecisionTracer(sample_rate=1.0))
+        with self.make_bouncer_server(telemetry) as server:
+            exposition = server.serve_telemetry()
+            status, _, _ = fetch(f"{exposition.url}/spans")
+            assert status == 404
 
     def test_traces_404_without_tracer(self):
         with self.make_bouncer_server() as server:  # registry-only default
