@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core._compat import have_numpy
 from ..core.bouncer import BouncerConfig, BouncerPolicy
 from ..core.clock import ManualClock
 from ..core.context import HostContext
@@ -57,6 +58,17 @@ from .experiments import (SIM_PARALLELISM, make_maxql, make_maxqwt,
 #: Identifier stamped into the emitted JSON; later PRs add BENCH_02... so
 #: the trajectory of results stays comparable.
 BENCH_ID = "BENCH_01"
+#: Identifier of the batch-admission burst-sweep document
+#: (``BENCH_02.json``): ``decide_many`` throughput at each burst size
+#: against the scalar ``decide`` loop on the same warmed policy.
+BENCH02_ID = "BENCH_02"
+#: Burst sizes the BENCH_02 sweep measures.
+BATCH_SIZES: Tuple[int, ...] = (1, 8, 64, 256)
+#: Arms of ``batch_decisions_per_sec`` gated by
+#: :func:`check_batch_baseline`; the other burst sizes and the scalar
+#: reference are informational, keeping the CI gate's noise surface at
+#: one well-margined number.
+BATCH_GATE_KEYS: Tuple[str, ...] = ("batch_64",)
 #: Version of the emitted JSON structure.
 SCHEMA_VERSION = 1
 #: Default regression tolerance for :func:`check_baseline` (30%).
@@ -220,6 +232,8 @@ def bench_decisions(iterations: int) -> Dict[str, Any]:
                 "cache_hits": fast_stats.cache_hits,
                 "cache_misses": fast_stats.cache_misses,
                 "eq2_recomputes": fast_stats.eq2_recomputes,
+                "batch_calls": fast_stats.batch_calls,
+                "batch_queries": fast_stats.batch_queries,
             }
     # Interleaved trios, four rounds: alternating the arms inside one
     # loop exposes all of them to the same scheduler/thermal noise.
@@ -255,6 +269,151 @@ def bench_decisions(iterations: int) -> Dict[str, Any]:
     if plain_best > 0:
         payload["span_overhead_full_sampling"] = 1.0 - full_best / plain_best
     return payload
+
+
+def _warmed_bouncer_fast() -> BouncerPolicy:
+    """A fresh fast-path Bouncer with the standard warmed state, used by
+    every arm of the batch sweep so the arms differ only in batching."""
+    clock = ManualClock(0.0)
+    queue = QueueView()
+    ctx = HostContext(clock=clock, queue=queue,
+                      parallelism=SIM_PARALLELISM)
+    policy = BouncerPolicy(ctx, BouncerConfig(slos=simulation_slos(),
+                                              fast_path=True))
+    _warmed_policy(policy, queue, clock)
+    return policy
+
+
+def bench_batch_decisions(iterations: int) -> Dict[str, Any]:
+    """Batch admission throughput: ``decide_many`` at each burst size
+    against the scalar ``decide`` loop.
+
+    Every arm gets its own warmed fast-path Bouncer with the identical
+    backlog and sees the identical arrival sequence, chunked into bursts
+    of its size; the clock is frozen during measurement.  No
+    ``on_decision`` callback is attached, so queue state stays stable
+    across a run (matching :func:`bench_decisions`) and the batch arms
+    measure the pure decision engine — the epoch-keyed reuse of wait and
+    percentile terms across a burst.
+    """
+    arrival_types = [name for name, _ in DECISION_QUEUE_FILL]
+    queries = [Query(qtype=arrival_types[i % len(arrival_types)])
+               for i in range(iterations)]
+
+    policy = _warmed_bouncer_fast()
+    decide = policy.decide
+    start = time.perf_counter()
+    for query in queries:
+        decide(query)
+    elapsed = time.perf_counter() - start
+    scalar_rate = iterations / elapsed if elapsed > 0 else 0.0
+
+    batch_rates: Dict[str, float] = {}
+    counters: Dict[str, Dict[str, int]] = {}
+    for size in BATCH_SIZES:
+        policy = _warmed_bouncer_fast()
+        batches = [queries[i:i + size]
+                   for i in range(0, iterations, size)]
+        decide_many = policy.decide_many
+        start = time.perf_counter()
+        for batch in batches:
+            decide_many(batch)
+        elapsed = time.perf_counter() - start
+        batch_rates[f"batch_{size}"] = (iterations / elapsed
+                                        if elapsed > 0 else 0.0)
+        stats = policy.fast_path_stats
+        counters[f"batch_{size}"] = {
+            "batch_calls": stats.batch_calls,
+            "batch_queries": stats.batch_queries,
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "eq2_recomputes": stats.eq2_recomputes,
+        }
+    payload: Dict[str, Any] = {
+        "batch_decisions_per_sec": batch_rates,
+        "scalar_decisions_per_sec": scalar_rate,
+        "iterations": iterations,
+        "batch_fast_path_counters": counters,
+    }
+    if scalar_rate > 0:
+        payload["batch64_vs_scalar_speedup"] = (
+            batch_rates.get("batch_64", 0.0) / scalar_rate)
+    return payload
+
+
+def run_batch_bench(scale: BenchScale, mode: str = "custom"
+                    ) -> Dict[str, Any]:
+    """Run the burst sweep; return the ``BENCH_02.json`` document."""
+    document: Dict[str, Any] = {
+        "bench_id": BENCH02_ID,
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        # Whether the vectorized percentile path was available; the
+        # pure-python fallback is bit-identical but slower, so baselines
+        # are only comparable within one value of this flag.
+        "numpy": have_numpy(),
+    }
+    document.update(bench_batch_decisions(scale.decision_iterations))
+    return document
+
+
+def write_batch_results(document: Dict[str, Any],
+                        out_path: str) -> List[str]:
+    """Write the BENCH_02 aggregate JSON; returns the paths written."""
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return [out_path]
+
+
+def check_batch_baseline(current: Dict[str, Any],
+                         baseline: Dict[str, Any],
+                         tolerance: float = DEFAULT_TOLERANCE
+                         ) -> List[str]:
+    """Gate batched decision throughput against a committed BENCH_02
+    baseline.
+
+    Only the :data:`BATCH_GATE_KEYS` arms gate (CI fails when batch-64
+    decisions/sec drops more than ``tolerance`` below the baseline);
+    keys absent from either document are skipped, so older baselines
+    neither fail nor mask anything.
+    """
+    problems: List[str] = []
+    base_rates = baseline.get("batch_decisions_per_sec", {})
+    cur_rates = current.get("batch_decisions_per_sec", {})
+    for name in BATCH_GATE_KEYS:
+        base = base_rates.get(name)
+        cur = cur_rates.get(name)
+        if base is None or cur is None or base <= 0:
+            continue
+        floor = base * (1.0 - tolerance)
+        if cur < floor:
+            problems.append(
+                f"{name}: {cur:,.0f} decisions/sec is "
+                f"{(1 - cur / base):.0%} below baseline {base:,.0f} "
+                f"(tolerance {tolerance:.0%})")
+    return problems
+
+
+def render_batch_summary(document: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a BENCH_02 document."""
+    lines = [f"{document.get('bench_id', '?')} "
+             f"(mode={document.get('mode', '?')}, "
+             f"python={document.get('python', '?')}, "
+             f"numpy={'yes' if document.get('numpy') else 'no'})"]
+    lines.append("batch decisions/sec (decide_many):")
+    rates = document.get("batch_decisions_per_sec", {})
+    for name in sorted(rates, key=lambda k: int(k.rsplit("_", 1)[1])):
+        lines.append(f"  {name:<16} {rates[name]:>12,.0f}")
+    scalar = document.get("scalar_decisions_per_sec")
+    if scalar is not None:
+        lines.append(f"  {'scalar decide()':<16} {scalar:>12,.0f}")
+    speedup = document.get("batch64_vs_scalar_speedup")
+    if speedup is not None:
+        lines.append(f"  batch-64 vs scalar speedup: {speedup:.2f}x")
+    return "\n".join(lines)
 
 
 def bench_histogram(records: int, percentile_calls: int) -> Dict[str, Any]:

@@ -154,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=None,
                        help="allowed fractional drop vs the baseline "
                             "(default 0.30)")
+    bench.add_argument("--batch-out", default=None,
+                       help="also run the BENCH_02 batch-admission burst "
+                            "sweep (decide_many at bursts 1/8/64/256 vs "
+                            "the scalar decide loop) and write its JSON "
+                            "here")
+    bench.add_argument("--batch-baseline", default=None,
+                       help="BENCH_02 baseline JSON to gate batch-64 "
+                            "decide_many throughput against (implies the "
+                            "burst sweep; exit 1 on regression)")
 
     trace = sub.add_parser(
         "trace-report",
@@ -319,7 +328,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from .bench.perf import (DEFAULT_TOLERANCE, SCALES, check_baseline,
-                             render_summary, run_bench, write_results)
+                             check_batch_baseline, render_batch_summary,
+                             render_summary, run_batch_bench, run_bench,
+                             write_batch_results, write_results)
     from .bench.tables import results_dir
 
     mode = "quick" if args.quick else "full"
@@ -327,27 +338,43 @@ def cmd_bench(args: argparse.Namespace) -> int:
     out_dir = args.results_dir if args.results_dir else str(results_dir())
     written = write_results(document, args.out, results_dir=out_dir)
     print(render_summary(document))
+    batch_document = None
+    if args.batch_out or args.batch_baseline:
+        batch_document = run_batch_bench(SCALES[mode], mode=mode)
+        written += write_batch_results(batch_document,
+                                       args.batch_out or "BENCH_02.json")
+        print()
+        print(render_batch_summary(batch_document))
     print()
     for path in written:
         print(f"wrote {path}")
-    if args.baseline:
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else DEFAULT_TOLERANCE)
+
+    def gate(baseline_path, current, checker, label) -> int:
         try:
-            with open(args.baseline, "r", encoding="utf-8") as fh:
+            with open(baseline_path, "r", encoding="utf-8") as fh:
                 baseline = json.load(fh)
         except (OSError, ValueError) as exc:
-            print(f"bench: cannot read baseline {args.baseline}: {exc}",
+            print(f"bench: cannot read baseline {baseline_path}: {exc}",
                   file=sys.stderr)
             return 1
-        tolerance = (args.tolerance if args.tolerance is not None
-                     else DEFAULT_TOLERANCE)
-        problems = check_baseline(document, baseline, tolerance=tolerance)
+        problems = checker(current, baseline, tolerance=tolerance)
         if problems:
             for problem in problems:
                 print(f"bench: REGRESSION: {problem}", file=sys.stderr)
             return 1
-        print(f"baseline check passed ({args.baseline}, "
+        print(f"{label} baseline check passed ({baseline_path}, "
               f"tolerance {tolerance:.0%})")
-    return 0
+        return 0
+
+    failed = 0
+    if args.baseline:
+        failed |= gate(args.baseline, document, check_baseline, "BENCH_01")
+    if args.batch_baseline:
+        failed |= gate(args.batch_baseline, batch_document,
+                       check_batch_baseline, "BENCH_02")
+    return failed
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:

@@ -39,7 +39,7 @@ from ..exceptions import ConfigurationError
 from .context import HostContext
 from .dual_buffer import DualBufferHistogram, SlidingWindowHistogram
 from .histogram import BucketLayout, HistogramSnapshot
-from .policy import AdmissionPolicy
+from .policy import AdmissionPolicy, DecisionCallback
 from .slo import LatencySLO, SLORegistry
 from .types import AdmissionResult, Query, RejectReason
 
@@ -188,26 +188,68 @@ class _SnapshotStats:
         self.percentiles: Dict[Tuple[float, ...], List[float]] = {}
 
 
-class _Contribution:
-    """One queued type's term in the incrementally maintained Eq. 2 sum."""
+class _Eq2Term:
+    """One queued type's row in the Eq. 2 term table.
 
-    __slots__ = ("mean", "used_general", "epoch")
+    Array-of-structs layout: the queue count and the cached mean (plus its
+    staleness tokens) live together, so the Eq. 2 sum is a single pass over
+    ``terms.values()`` with no cross-dict lookups — the batch path's inner
+    loop.  ``mean is None`` marks a term created while a full refresh was
+    already pending (the refresh fills every mean before the sum runs).
+    """
 
-    def __init__(self, mean: float, used_general: bool, epoch: int) -> None:
+    __slots__ = ("count", "mean", "used_general", "epoch")
+
+    def __init__(self, count: int, mean: Optional[float] = None,
+                 used_general: bool = False, epoch: int = -1) -> None:
+        self.count = count
         self.mean = mean
         self.used_general = used_general
         self.epoch = epoch
 
 
-class FastPathStats:
-    """Counters describing fast-path effectiveness (telemetry surface)."""
+class _BatchEntry:
+    """Per-type decision inputs shared across one ``decide_many`` batch.
 
-    __slots__ = ("cache_hits", "cache_misses", "eq2_recomputes")
+    Within a batch the clock is frozen and no completions are recorded, so
+    after the first query of a type touches the snapshots (triggering any
+    due lazy publish — the same instant the scalar loop would), every later
+    query of that type sees identical inputs.  ``proto_*`` memoizes the
+    finished decision against the wait estimate it was computed from;
+    queue mutations between queries (host callbacks enqueueing accepts)
+    change the wait, which invalidates the memo by value.
+    """
+
+    __slots__ = ("slo", "cold", "values", "proto_wait", "proto_accept",
+                 "proto_response")
+
+    def __init__(self, slo: LatencySLO, cold: bool,
+                 values: Optional[List[float]]) -> None:
+        self.slo = slo
+        self.cold = cold
+        self.values = values
+        self.proto_wait: Optional[float] = None
+        self.proto_accept = False
+        self.proto_response: Dict[float, float] = {}
+
+
+class FastPathStats:
+    """Counters describing fast-path effectiveness (telemetry surface).
+
+    ``batch_calls`` / ``batch_queries`` count :meth:`BouncerPolicy.decide_many`
+    invocations and the queries they carried (mean burst size is their
+    ratio); they tick on the batch path regardless of ``fast_path`` mode.
+    """
+
+    __slots__ = ("cache_hits", "cache_misses", "eq2_recomputes",
+                 "batch_calls", "batch_queries")
 
     def __init__(self) -> None:
         self.cache_hits = 0
         self.cache_misses = 0
         self.eq2_recomputes = 0
+        self.batch_calls = 0
+        self.batch_queries = 0
 
 
 class BouncerPolicy(AdmissionPolicy):
@@ -235,8 +277,12 @@ class BouncerPolicy(AdmissionPolicy):
         # histogram-backend lock, never while holding the queue-view lock —
         # listeners fire after that lock is released).
         self._fast_lock = threading.Lock()
-        self._queued: Dict[str, int] = {}
-        self._means: Dict[str, _Contribution] = {}
+        # Eq. 2 term table (array-of-structs: count + cached mean per
+        # queued type).  Insertion order mirrors the queue view's counts
+        # dict so the sum visits types in the same order as the naive
+        # occupancy walk — float addition is order-sensitive.
+        self._terms: Dict[str, _Eq2Term] = {}
+        self._pending_terms = 0
         self._stat_cache: Dict[str, _SnapshotStats] = {}
         self._next_due = math.inf
         self._general_deps = 0
@@ -369,25 +415,27 @@ class BouncerPolicy(AdmissionPolicy):
         return total / self._ctx.parallelism
 
     def _fast_wait_mean_locked(self) -> float:
-        """Eq. 2 from the incrementally maintained state."""
-        if not self._queued:
+        """Eq. 2 from the incrementally maintained term table."""
+        if not self._terms:
             return 0.0
         now = self._ctx.clock.now()
         if (self._sum_dirty or now >= self._next_due
-                or len(self._means) != len(self._queued)):
-            self._refresh_means_locked()
+                or self._pending_terms):
+            self._refresh_terms_locked()
         if self._watch:
             self._service_watch_locked()
             if self._sum_dirty:
-                self._refresh_means_locked()
+                self._refresh_terms_locked()
         if self._wait_cache is not None:
             # No term and no count has changed since the last computation
             # (every mutation path clears the memo): reuse it verbatim.
             return self._wait_cache
         total = 0.0
-        means = self._means
-        for qtype, count in self._queued.items():
-            total += count * means[qtype].mean
+        for term in self._terms.values():
+            mean = term.mean
+            if mean is None:  # pragma: no cover - refresh fills every mean
+                raise AssertionError("Eq. 2 refresh skipped a queued type")
+            total += term.count * mean
         wait = total / self._ctx.parallelism
         self._wait_cache = wait
         return wait
@@ -400,6 +448,29 @@ class BouncerPolicy(AdmissionPolicy):
         compared against is the catch-all default.
         """
         wait_mean = self.estimate_wait_mean()
+        entry = self._batch_entry(qtype)
+        estimate = BouncerEstimate(qtype=qtype, wait_mean=wait_mean,
+                                   slo=entry.slo, cold_start=entry.cold)
+        if entry.values is None:
+            # Nothing measured anywhere yet: estimates are just the queue
+            # wait, which errs toward acceptance (deliberate leniency).
+            for p in entry.slo.percentiles:
+                estimate.response[p] = wait_mean
+            return estimate
+        # ``slo.percentiles`` is already ascending, matching ``values``.
+        for p, value in zip(entry.slo.percentiles, entry.values):
+            estimate.response[p] = wait_mean + value
+        return estimate
+
+    def _batch_entry(self, qtype: str) -> _BatchEntry:
+        """Resolve one type's decision inputs (Appendix A fallback applied).
+
+        This is the snapshot-touching half of :meth:`estimate`; callers
+        must compute the Eq. 2 wait *before* calling it, preserving the
+        scalar path's touch order (wait walk first, then the arriving
+        type's histograms).  ``values is None`` encodes the empty-snapshot
+        leniency case.
+        """
         own = self._histogram_for(qtype).snapshot()
         cold = own.count < self._min_trusted
         if cold:
@@ -408,24 +479,16 @@ class BouncerPolicy(AdmissionPolicy):
         else:
             snap = own
             slo = self._slos.for_type(qtype)
-        estimate = BouncerEstimate(qtype=qtype, wait_mean=wait_mean,
-                                   slo=slo, cold_start=cold)
         percentiles = slo.percentiles
+        values: Optional[List[float]]
         if snap.is_empty:
-            # Nothing measured anywhere yet: estimates are just the queue
-            # wait, which errs toward acceptance (deliberate leniency).
-            for p in percentiles:
-                estimate.response[p] = wait_mean
-            return estimate
-        if self._fast:
+            values = None
+        elif self._fast:
             values = self._fast_percentiles(qtype, own, cold, snap,
                                             percentiles)
         else:
             values = snap.percentiles(percentiles)
-        # ``slo.percentiles`` is already ascending, matching ``values``.
-        for p, value in zip(percentiles, values):
-            estimate.response[p] = wait_mean + value
-        return estimate
+        return _BatchEntry(slo, cold, values)
 
     def _fast_percentiles(self, qtype: str, own: HistogramSnapshot,
                           cold: bool, snap: HistogramSnapshot,
@@ -441,12 +504,12 @@ class BouncerPolicy(AdmissionPolicy):
         out-of-band mutation.)
         """
         with self._fast_lock:
-            contrib = self._means.get(qtype)
-            if contrib is not None:
-                if contrib.used_general:
+            term = self._terms.get(qtype)
+            if term is not None and term.mean is not None:
+                if term.used_general:
                     if own.count >= self._min_trusted:
                         self._sum_dirty = True
-                elif contrib.epoch != own.epoch:
+                elif term.epoch != own.epoch:
                     self._sum_dirty = True
             if (cold and self._general_deps
                     and snap.epoch != self._general_epoch_used):
@@ -465,28 +528,33 @@ class BouncerPolicy(AdmissionPolicy):
         """Queue-view subscription: mirror occupancy incrementally."""
         with self._fast_lock:
             self._wait_cache = None
+            term = self._terms.get(qtype)
             if delta > 0:
-                count = self._queued.get(qtype)
-                if count is not None:
-                    self._queued[qtype] = count + 1
+                if term is not None:
+                    term.count += 1
+                elif self._sum_dirty:
+                    # A pending refresh recomputes every term anyway.
+                    self._terms[qtype] = _Eq2Term(1)
+                    self._pending_terms += 1
                 else:
-                    self._queued[qtype] = 1
-                    if not self._sum_dirty:
-                        # (A pending refresh recomputes every term anyway.)
-                        self._means[qtype] = self._contribution_locked(qtype)
+                    self._terms[qtype] = self._term_locked(qtype, 1)
             else:
-                count = self._queued.get(qtype)
-                if count is None:
+                if term is None:
                     # Deliveries raced past the count updates (threaded
                     # runtime); resynchronize from the authoritative view.
-                    self._queued = dict(self._ctx.queue.occupancy())
+                    self._terms = {
+                        queued: _Eq2Term(count)
+                        for queued, count in
+                        self._ctx.queue.occupancy().items()}
+                    self._pending_terms = len(self._terms)
                     self._sum_dirty = True
-                elif count > 1:
-                    self._queued[qtype] = count - 1
+                elif term.count > 1:
+                    term.count -= 1
                 else:
-                    del self._queued[qtype]
-                    contrib = self._means.pop(qtype, None)
-                    if contrib is not None and contrib.used_general:
+                    del self._terms[qtype]
+                    if term.mean is None:
+                        self._pending_terms -= 1
+                    elif term.used_general:
                         self._general_deps -= 1
                         if self._general_deps == 0:
                             self._general_epoch_used = -1
@@ -504,14 +572,14 @@ class BouncerPolicy(AdmissionPolicy):
             stats.cache_hits += 1
         return entry
 
-    def _contribution_locked(self, qtype: str) -> _Contribution:
+    def _term_locked(self, qtype: str, count: int) -> _Eq2Term:
         """Compute one type's Eq. 2 term and fold in its refresh triggers."""
         hist = self._histogram_for(qtype)
         snap = hist.snapshot()
         self._next_due = min(self._next_due, hist.next_publish_due())
         if snap.count >= self._min_trusted:
             entry = self._stat_entry_locked(qtype, snap)
-            return _Contribution(entry.mean, False, snap.epoch)
+            return _Eq2Term(count, entry.mean, False, snap.epoch)
         gsnap = self._general.snapshot()
         gentry = self._stat_entry_locked(_GENERAL_KEY, gsnap)
         if self._general_deps:
@@ -527,9 +595,9 @@ class BouncerPolicy(AdmissionPolicy):
             self._watch.add(qtype)
         if self._general.bootstrap_pending:
             self._watch.add(_GENERAL_KEY)
-        return _Contribution(gentry.mean, True, gsnap.epoch)
+        return _Eq2Term(count, gentry.mean, True, gsnap.epoch)
 
-    def _refresh_means_locked(self) -> None:
+    def _refresh_terms_locked(self) -> None:
         """Slow path: recompute every queued type's Eq. 2 term.
 
         Runs on publish boundaries, bootstrap publishes, sliding-window
@@ -545,17 +613,18 @@ class BouncerPolicy(AdmissionPolicy):
         self._next_due = math.inf
         self._general_deps = 0
         self._general_epoch_used = -1
-        means: Dict[str, _Contribution] = {}
+        self._pending_terms = 0
+        terms: Dict[str, _Eq2Term] = {}
         general_entry: Optional[_SnapshotStats] = None
         general_epoch = -1
         general_deps = 0
-        for qtype in self._queued:
+        for qtype, old in self._terms.items():
             hist = self._histogram_for(qtype)
             snap = hist.snapshot()
             self._next_due = min(self._next_due, hist.next_publish_due())
             if snap.count >= self._min_trusted:
-                means[qtype] = _Contribution(
-                    self._stat_entry_locked(qtype, snap).mean,
+                terms[qtype] = _Eq2Term(
+                    old.count, self._stat_entry_locked(qtype, snap).mean,
                     False, snap.epoch)
             else:
                 if general_entry is None:
@@ -563,8 +632,8 @@ class BouncerPolicy(AdmissionPolicy):
                     general_entry = self._stat_entry_locked(
                         _GENERAL_KEY, gsnap)
                     general_epoch = gsnap.epoch
-                means[qtype] = _Contribution(general_entry.mean, True,
-                                             general_epoch)
+                terms[qtype] = _Eq2Term(old.count, general_entry.mean,
+                                        True, general_epoch)
                 general_deps += 1
                 if hist.bootstrap_pending:
                     self._watch.add(qtype)
@@ -573,7 +642,7 @@ class BouncerPolicy(AdmissionPolicy):
                                  self._general.next_publish_due())
             if self._general.bootstrap_pending:
                 self._watch.add(_GENERAL_KEY)
-        self._means = means
+        self._terms = terms
         self._general_deps = general_deps
         self._general_epoch_used = general_epoch
 
@@ -591,12 +660,12 @@ class BouncerPolicy(AdmissionPolicy):
             if key == _GENERAL_KEY:
                 if not self._general_deps:
                     # No Eq. 2 term depends on the general view; if one
-                    # appears later, _contribution_locked re-adds the watch.
+                    # appears later, _term_locked re-adds the watch.
                     self._watch.discard(key)
                     continue
                 backend: HistogramBackend = self._general
             else:
-                if key not in self._queued:
+                if key not in self._terms:
                     # Not queued -> no term to go stale; an enqueue takes a
                     # fresh snapshot (and re-watches) anyway.
                     self._watch.discard(key)
@@ -609,12 +678,12 @@ class BouncerPolicy(AdmissionPolicy):
                 if snap.epoch != self._general_epoch_used:
                     self._sum_dirty = True
             else:
-                contrib = self._means.get(key)
-                if contrib is not None:
-                    if contrib.used_general:
+                term = self._terms.get(key)
+                if term is not None and term.mean is not None:
+                    if term.used_general:
                         if snap.count >= self._min_trusted:
                             self._sum_dirty = True
-                    elif contrib.epoch != snap.epoch:
+                    elif term.epoch != snap.epoch:
                         self._sum_dirty = True
 
     def invalidate_estimates(self) -> None:
@@ -633,23 +702,112 @@ class BouncerPolicy(AdmissionPolicy):
 
     # -- the decision (Algorithm 1) ----------------------------------------
     def _decide(self, query: Query) -> AdmissionResult:
-        estimate = self.estimate(query.qtype)
-        slo = estimate.slo
-        assert slo is not None
+        """Algorithm 1 as a batch of one: the same engine as decide_many."""
+        wait_mean = self.estimate_wait_mean()
+        return self._entry_result(self._batch_entry(query.qtype), wait_mean)
+
+    def decide_many(
+            self, queries: Sequence[Query],
+            on_decision: Optional[DecisionCallback] = None,
+    ) -> List[AdmissionResult]:
+        """Vectorized Algorithm 1 over a burst of same-instant arrivals.
+
+        Bit-identical to the scalar loop (the base-class contract; held to
+        it by ``tests/test_batch_differential.py``) but shares work across
+        the burst:
+
+        * the Eq. 2 wait estimate is computed once and reused until an
+          ``on_decision`` callback runs — a callback may enqueue the query
+          it just accepted, which is exactly the mutation the scalar loop's
+          next decision would observe, so the estimate is refreshed after
+          every callback (a memo hit whenever nothing actually changed);
+        * each distinct query type resolves its histogram snapshots, cold
+          fallback, and SLO percentile values once per batch
+          (:class:`_BatchEntry`), valid because the clock is frozen and no
+          completions are recorded between decisions of one batch;
+        * repeated types against an unchanged wait reuse the finished
+          decision, paying only a dict copy and a result allocation.
+
+        An empty batch returns immediately without touching any snapshot
+        or memo.  The per-query tallies land in :attr:`stats` exactly as
+        the scalar loop's would (batched under one lock when no callback
+        needs interleaved visibility).
+        """
+        results: List[AdmissionResult] = []
+        if not queries:
+            return results
+        stats = self.fast_path_stats
+        stats.batch_calls += 1
+        stats.batch_queries += len(queries)
+        entries: Dict[str, _BatchEntry] = {}
+        outcomes: List[Tuple[str, AdmissionResult]] = []
+        wait_mean = self.estimate_wait_mean()
+        wait_stale = False
+        for query in queries:
+            if wait_stale:
+                wait_mean = self.estimate_wait_mean()
+                wait_stale = False
+            qtype = query.qtype
+            entry = entries.get(qtype)
+            if entry is None:
+                entry = self._batch_entry(qtype)
+                entries[qtype] = entry
+            result = self._entry_result(entry, wait_mean)
+            results.append(result)
+            if on_decision is not None:
+                self.stats.record(qtype, result)
+                on_decision(query, result)
+                wait_stale = True
+            else:
+                outcomes.append((qtype, result))
+        if outcomes:
+            self.stats.record_many(outcomes)
+        return results
+
+    def _entry_result(self, entry: _BatchEntry,
+                      wait_mean: float) -> AdmissionResult:
+        """Algorithm 1 for one query given its type's batch entry.
+
+        The response estimate is ``wait + pt_p`` per constrained
+        percentile, in exactly the scalar arithmetic (no slack
+        transformation — ``wait > target - pt_p`` is not float-equivalent).
+        A memoized decision is reused only when the wait estimate is
+        bit-equal to the one it was computed from; every result carries a
+        freshly copied estimates dict, as the scalar path allocates one
+        per decision.
+        """
+        if entry.proto_wait == wait_mean:
+            response = dict(entry.proto_response)
+            if entry.proto_accept:
+                return AdmissionResult.accept(estimates=response)
+            return AdmissionResult.reject(RejectReason.SLO_ESTIMATE,
+                                          estimates=response)
+        slo = entry.slo
+        response = {}
+        if entry.values is None:
+            for p in slo.percentiles:
+                response[p] = wait_mean
+        else:
+            # ``slo.percentiles`` is ascending, matching ``values``.
+            for p, value in zip(slo.percentiles, entry.values):
+                response[p] = wait_mean + value
         exceeded = 0
         constrained = 0
         for percentile, target in slo.items():
             constrained += 1
-            if estimate.response.get(percentile, 0.0) > target:
+            if response.get(percentile, 0.0) > target:
                 exceeded += 1
         if self._mode_any:
             reject = exceeded > 0
         else:
             reject = constrained > 0 and exceeded == constrained
+        entry.proto_wait = wait_mean
+        entry.proto_accept = not reject
+        entry.proto_response = response
         if reject:
             return AdmissionResult.reject(RejectReason.SLO_ESTIMATE,
-                                          estimates=dict(estimate.response))
-        return AdmissionResult.accept(estimates=dict(estimate.response))
+                                          estimates=dict(response))
+        return AdmissionResult.accept(estimates=dict(response))
 
     # -- framework hooks ----------------------------------------------------
     def on_completed(self, query: Query, wait_time: float,
@@ -671,14 +829,14 @@ class BouncerPolicy(AdmissionPolicy):
             return
         if hist.records_visible_immediately:
             with self._fast_lock:
-                if query.qtype in self._queued or self._general_deps:
+                if query.qtype in self._terms or self._general_deps:
                     self._sum_dirty = True
         elif hist.bootstrap_pending or self._general.bootstrap_pending:
             # Watch only backends a cached Eq. 2 term depends on; any other
             # backend gets a fresh snapshot (and a new watch, if still
-            # pending) from _contribution_locked when its type is enqueued.
+            # pending) from _term_locked when its type is enqueued.
             with self._fast_lock:
-                if hist.bootstrap_pending and query.qtype in self._queued:
+                if hist.bootstrap_pending and query.qtype in self._terms:
                     self._watch.add(query.qtype)
                 if self._general.bootstrap_pending and self._general_deps:
                     self._watch.add(_GENERAL_KEY)

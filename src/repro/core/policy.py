@@ -23,9 +23,15 @@ from __future__ import annotations
 import abc
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .types import AdmissionResult, Query, RejectReason
+
+#: Callback fired by :meth:`AdmissionPolicy.decide_many` after each decision,
+#: in arrival order, before the next query in the batch is decided.  Hosts
+#: use it to apply per-query side effects (telemetry, enqueue, dispatch) at
+#: exactly the point the scalar loop would.
+DecisionCallback = Callable[[Query, AdmissionResult], None]
 
 
 @dataclass
@@ -62,15 +68,29 @@ class PolicyStats:
     def record(self, qtype: str, result: AdmissionResult) -> None:
         """Tally one admission outcome for ``qtype``."""
         with self._lock:
-            counters = self._per_type.setdefault(qtype, TypeCounters())
-            if result.accepted:
-                counters.accepted += 1
-            else:
-                counters.rejected += 1
-                if result.reason is not None:
-                    by_reason = counters.rejected_by_reason
-                    by_reason[result.reason] = (
-                        by_reason.get(result.reason, 0) + 1)
+            self._record_locked(qtype, result)
+
+    def record_many(self,
+                    outcomes: Iterable[Tuple[str, AdmissionResult]]) -> None:
+        """Tally a burst of outcomes under a single lock acquisition.
+
+        Order-insensitive (counters only), so batching the lock cannot be
+        observed by readers beyond seeing the tallies land together.
+        """
+        with self._lock:
+            for qtype, result in outcomes:
+                self._record_locked(qtype, result)
+
+    def _record_locked(self, qtype: str, result: AdmissionResult) -> None:
+        counters = self._per_type.setdefault(qtype, TypeCounters())
+        if result.accepted:
+            counters.accepted += 1
+        else:
+            counters.rejected += 1
+            if result.reason is not None:
+                by_reason = counters.rejected_by_reason
+                by_reason[result.reason] = (
+                    by_reason.get(result.reason, 0) + 1)
 
     def for_type(self, qtype: str) -> TypeCounters:
         """Counters for one type (zeros when never seen)."""
@@ -121,6 +141,35 @@ class AdmissionPolicy(abc.ABC):
         result = self._decide(query)
         self.stats.record(query.qtype, result)
         return result
+
+    def decide_many(
+            self, queries: Sequence[Query],
+            on_decision: Optional[DecisionCallback] = None,
+    ) -> List[AdmissionResult]:
+        """Decide admission for a burst of queries, in arrival order.
+
+        The contract is *bit-identity with the scalar loop*: for any
+        ``queries``, the results, :attr:`stats` tallies, and every side
+        effect applied through ``on_decision`` must be indistinguishable
+        from calling :meth:`decide` once per query and invoking
+        ``on_decision(query, result)`` after each.  ``on_decision`` runs
+        before the next query in the batch is decided, so a host callback
+        that enqueues an accepted query changes the state later decisions
+        observe — exactly as sequential arrivals would.
+
+        This default implementation *is* that scalar loop, which makes it
+        correct by construction for every policy (baselines, starvation
+        and advisor wrappers).  Policies with batch-friendly structure
+        (Bouncer) override it with a vectorized path that preserves the
+        contract; ``tests/test_batch_differential.py`` holds them to it.
+        """
+        results: List[AdmissionResult] = []
+        for query in queries:
+            result = self.decide(query)
+            results.append(result)
+            if on_decision is not None:
+                on_decision(query, result)
+        return results
 
     @abc.abstractmethod
     def _decide(self, query: Query) -> AdmissionResult:

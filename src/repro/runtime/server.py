@@ -24,7 +24,7 @@ from __future__ import annotations
 import queue as queue_module
 import threading
 from concurrent.futures import Future
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..core.context import HostContext
 from ..core.clock import MonotonicClock
@@ -293,6 +293,73 @@ class AdmissionServer:
         except QueryRejectedError as exc:
             return exc.result, None
         return AdmissionResult.accept(), future
+
+    def submit_many(
+            self, queries: Sequence[Query]
+    ) -> "List[tuple[AdmissionResult, Optional[Future[Any]]]]":
+        """Offer a burst of queries through one batch decision.
+
+        The batch analogue of calling :meth:`try_submit` per query, in
+        order: all queries share one arrival timestamp (they arrived
+        together), the policy sees them as a single ``decide_many`` burst,
+        and each accepted query is enqueued before the next is decided.
+        Per-query fail-open is preserved — a policy exception admits the
+        query that hit it and the batch resumes after it.  With a fault
+        injector armed the burst degrades to the scalar loop, keeping the
+        injector's probabilistic draw order intact.
+
+        Returns ``(result, future-or-None)`` pairs in arrival order;
+        rejections are returned, not raised.
+        """
+        with self._lock:
+            if not self._started or self._stopping:
+                raise ShuttingDownError("server is not accepting queries")
+        if not queries:
+            return []
+        if self._faults is not None:
+            return [self.try_submit(query) for query in queries]
+        now = self._clock.now()
+        for query in queries:
+            query.arrival_time = now
+        out: "List[tuple[AdmissionResult, Optional[Future[Any]]]]" = []
+
+        def apply(query: Query, result: AdmissionResult) -> None:
+            self.telemetry.on_decision(query, result, now=now,
+                                       queue_length=self.queue_view.length(),
+                                       policy=self.policy)
+            if not result.accepted:
+                out.append((result, None))
+                return
+            future: "Future[Any]" = Future()
+            query.enqueued_at = now
+            self.queue_view.on_enqueue(query.qtype)
+            self.policy.on_enqueued(query)
+            self._queue.put((query, future))
+            out.append((result, future))
+
+        total = len(queries)
+        while len(out) < total:
+            start = len(out)
+            try:
+                results = self.policy.decide_many(list(queries[start:]),
+                                                  on_decision=apply)
+            except Exception:
+                # Fail open for exactly the query that broke the policy,
+                # then resume batching the remainder — the per-query
+                # counterpart of submit()'s fail-open.
+                self.telemetry.on_policy_error()
+                if len(out) < total:
+                    apply(queries[len(out)], AdmissionResult.accept())
+                continue
+            if len(out) == start:
+                # Defensive: a decide_many that returned without firing
+                # the callback (contract violation) must not spin forever;
+                # apply whatever it returned, positionally.
+                for query, result in zip(list(queries[start:]), results):
+                    apply(query, result)
+                if len(out) == start:
+                    break
+        return out
 
     # -- workers -----------------------------------------------------------
     def _apply_service_faults(self, query: Query,

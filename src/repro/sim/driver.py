@@ -12,7 +12,7 @@ policy under test, so policy comparisons see the same incoming traffic.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.telemetry
     from ..faults import FaultInjector
@@ -34,7 +34,9 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
                    on_decision: Optional[DecisionHook] = None,
                    telemetry: Optional["Telemetry"] = None,
                    fault_injector: Optional["FaultInjector"] = None,
-                   attainment_threshold: Optional[float] = None
+                   attainment_threshold: Optional[float] = None,
+                   burst: int = 1,
+                   batched_admission: Optional[bool] = None
                    ) -> SimulationReport:
     """Simulate one policy under one traffic rate and report the outcome.
 
@@ -75,9 +77,25 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
         When set, the report's ``attainment`` maps each type (plus
         ``"ALL"``) to the fraction of completed responses within this many
         seconds — the SLO-attainment measure the chaos harness compares.
+    burst:
+        Arrivals per Poisson instant (see
+        :class:`~repro.sim.workload.ArrivalSchedule`); 1 reproduces the
+        historical per-query arrival stream exactly.
+    batched_admission:
+        Route each same-instant burst through
+        :meth:`~repro.sim.server.SimulatedServer.offer_many` (one
+        ``decide_many`` call) instead of per-query ``offer`` calls.
+        Defaults to ``burst > 1``; both routes are bit-identical (the
+        batch-arm differential guard in ``tests/test_batch_differential.py``
+        compares them end to end), so the knob exists for that comparison,
+        not for behavioural choice.
     """
     if num_queries < 1:
         raise ConfigurationError("num_queries must be >= 1")
+    if burst < 1:
+        raise ConfigurationError("burst must be >= 1")
+    if batched_admission is None:
+        batched_admission = burst > 1
     if warmup_queries is None:
         warmup_queries = max(num_queries // 5, int(2.0 * rate_qps), 1000)
     total = warmup_queries + num_queries
@@ -87,31 +105,83 @@ def run_simulation(mix: WorkloadMix, policy_factory: PolicyFactory,
                              on_decision=on_decision, telemetry=telemetry,
                              fault_injector=fault_injector)
     arrivals: Iterator[Query] = iter(
-        ArrivalSchedule(mix, rate_qps, seed=seed))
+        ArrivalSchedule(mix, rate_qps, seed=seed, burst=burst))
     offered = 0
+    generated = 0
     utilization = [0.0]
 
-    def arrive(query: Query) -> None:
-        nonlocal offered
-        offered += 1
-        if offered == warmup_queries + 1:
-            # First measured arrival: open the window before offering so
-            # this query's outcome is included and every warm-up one isn't.
-            server.reset_measurement()
-            if fault_injector is not None:
-                fault_injector.arm(sim.now)
-        server.offer(query)
+    def begin_measurement() -> None:
+        # Open the window before offering the first measured query so its
+        # outcome is included and every warm-up one isn't.
+        server.reset_measurement()
+        if fault_injector is not None:
+            fault_injector.arm(sim.now)
+
+    def finish_or_continue() -> None:
         if offered == total:
             # Freeze utilization at the last arrival so the post-run drain
             # does not dilute (or inflate) the measurement.
             utilization[0] = server.metrics.utilization(
                 sim.now, parallelism)
         else:
+            nxt = next_burst()
+            sim.schedule_at(nxt[0].arrival_time,
+                            lambda: arrive_burst(nxt))
+
+    def arrive(query: Query) -> None:
+        nonlocal offered
+        offered += 1
+        if offered == warmup_queries + 1:
+            begin_measurement()
+        server.offer(query)
+        if offered == total:
+            utilization[0] = server.metrics.utilization(
+                sim.now, parallelism)
+        else:
             nxt = next(arrivals)
             sim.schedule_at(nxt.arrival_time, lambda: arrive(nxt))
 
-    first = next(arrivals)
-    sim.schedule_at(first.arrival_time, lambda: arrive(first))
+    def next_burst() -> List[Query]:
+        nonlocal generated
+        queries: List[Query] = []
+        while len(queries) < burst and generated < total:
+            queries.append(next(arrivals))
+            generated += 1
+        return queries
+
+    def arrive_burst(queries: List[Query]) -> None:
+        # Offer the burst in measurement-window segments: a burst that
+        # straddles the warm-up boundary is split so the reset lands
+        # between the last warm-up query and the first measured one —
+        # the same instant the per-query path resets at.
+        nonlocal offered
+        index = 0
+        while index < len(queries):
+            if offered == warmup_queries:
+                begin_measurement()
+            if offered < warmup_queries:
+                length = min(len(queries) - index, warmup_queries - offered)
+            else:
+                length = len(queries) - index
+            segment = queries[index:index + length]
+            if batched_admission:
+                server.offer_many(segment)
+            else:
+                for query in segment:
+                    server.offer(query)
+            offered += length
+            index += length
+        finish_or_continue()
+
+    if burst == 1 and not batched_admission:
+        # The historical per-query path, byte-for-byte (the seed arm every
+        # batched run is differentially tested against).
+        first = next(arrivals)
+        sim.schedule_at(first.arrival_time, lambda: arrive(first))
+    else:
+        burst_queries = next_burst()
+        sim.schedule_at(burst_queries[0].arrival_time,
+                        lambda: arrive_burst(burst_queries))
     sim.run()
 
     measure_end = max(server.metrics.last_arrival,

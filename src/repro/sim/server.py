@@ -14,7 +14,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Callable, Deque, List, Optional, Sequence,
+                    Tuple)
 
 if TYPE_CHECKING:  # avoid a sim <-> telemetry import cycle at runtime
     from ..faults import FaultInjector
@@ -151,15 +152,45 @@ class SimulatedServer:
             override = self._faults.admission_override(query, now,
                                                        self._host)
             if override is not None:
-                if self._on_decision is not None:
-                    self._on_decision(now, query, override)
-                if self._telemetry is not None:
-                    self._telemetry.on_decision(
-                        query, override, now=now,
-                        queue_length=self.queue_length, policy=self.policy)
-                self.metrics.record_rejection(query, override)
+                self._apply_decision(query, override, now)
                 return override
         result = self.policy.decide(query)
+        self._apply_decision(query, result, now)
+        return result
+
+    def offer_many(self, queries: Sequence[Query]) -> List[AdmissionResult]:
+        """Present a burst of same-tick arrivals through one batch decision.
+
+        Bit-identical to calling :meth:`offer` once per query in order: the
+        policy's ``decide_many`` fires :meth:`_apply_decision` after each
+        decision, so an accepted query is enqueued (and possibly dispatched)
+        before the next query in the burst is decided — exactly the state
+        sequential arrivals would observe.  With a fault injector armed the
+        burst degrades to the scalar loop, because fault windows interleave
+        probabilistic draws (admission overrides, error verdicts) with
+        dispatch in arrival order and batching would reorder that stream.
+        """
+        if not queries:
+            return []
+        if self._faults is not None:
+            return [self.offer(query) for query in queries]
+        now = self._sim.now
+        for query in queries:
+            query.arrival_time = now
+            self.metrics.note_arrival(now)
+
+        def apply(query: Query, result: AdmissionResult) -> None:
+            self._apply_decision(query, result, now)
+
+        return self.policy.decide_many(queries, on_decision=apply)
+
+    def _apply_decision(self, query: Query, result: AdmissionResult,
+                        now: float) -> None:
+        """Post-decision side effects, shared by the scalar and batch paths.
+
+        Hooks and telemetry fire for every decision; an accepted query is
+        stamped, enqueued, and offered to an idle engine immediately.
+        """
         if self._on_decision is not None:
             self._on_decision(now, query, result)
         if self._telemetry is not None:
@@ -168,7 +199,7 @@ class SimulatedServer:
                                         policy=self.policy)
         if not result.accepted:
             self.metrics.record_rejection(query, result)
-            return result
+            return
         query.enqueued_at = now
         # Sample the service demand once and stamp it on the query; dispatch
         # reuses the stamp instead of re-deriving it (one fn call saved per
@@ -183,7 +214,6 @@ class SimulatedServer:
         self.queue_view.on_enqueue(query.qtype)
         self.policy.on_enqueued(query)
         self._dispatch()
-        return result
 
     def reset_measurement(self) -> None:
         """End the warm-up phase: zero metrics and policy tallies.

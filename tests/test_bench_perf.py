@@ -9,12 +9,16 @@ sequences and report percentiles with the Bouncer fast path on
 
 import json
 
-from repro.bench.perf import (BENCH_ID, SPAN_GATE_SAMPLE_RATE,
+from repro.bench.perf import (BATCH_SIZES, BENCH02_ID, BENCH_ID,
+                              SPAN_GATE_SAMPLE_RATE,
                               SPAN_OVERHEAD_TOLERANCE, BenchScale,
-                              bench_decisions, bench_histogram,
-                              bench_simulator, check_baseline,
-                              render_summary, run_bench,
-                              run_parallel_experiments, write_results)
+                              bench_batch_decisions, bench_decisions,
+                              bench_histogram, bench_simulator,
+                              check_baseline, check_batch_baseline,
+                              render_batch_summary, render_summary,
+                              run_batch_bench, run_bench,
+                              run_parallel_experiments,
+                              write_batch_results, write_results)
 from repro.bench.experiments import make_bouncer, simulation_mix
 from repro.cli import main
 from repro.sim.driver import run_simulation
@@ -153,6 +157,64 @@ class TestBaselineGate:
         assert check_baseline({"decisions_per_sec": {}}, baseline) == []
 
 
+class TestBatchBench:
+    def test_bench_batch_decisions_shape(self):
+        doc = bench_batch_decisions(300)
+        rates = doc["batch_decisions_per_sec"]
+        assert set(rates) == {f"batch_{size}" for size in BATCH_SIZES}
+        assert all(rate > 0 for rate in rates.values())
+        assert doc["scalar_decisions_per_sec"] > 0
+        assert doc["batch64_vs_scalar_speedup"] > 0
+        counters = doc["batch_fast_path_counters"]["batch_64"]
+        # Every query went through decide_many; 300 queries at burst 64
+        # means ceil(300/64) = 5 calls.
+        assert counters["batch_queries"] == 300
+        assert counters["batch_calls"] == 5
+
+    def test_run_batch_bench_document(self, tmp_path):
+        doc = run_batch_bench(TINY, mode="tiny")
+        assert doc["bench_id"] == BENCH02_ID
+        assert doc["mode"] == "tiny"
+        assert isinstance(doc["numpy"], bool)
+        out = tmp_path / "BENCH_02.json"
+        written = write_batch_results(doc, str(out))
+        assert written == [str(out)]
+        reparsed = json.loads(out.read_text())
+        assert reparsed["bench_id"] == BENCH02_ID
+        summary = render_batch_summary(doc)
+        assert "batch_64" in summary
+        assert "batch-64 vs scalar speedup" in summary
+
+
+class TestBatchBaselineGate:
+    def test_no_regression_passes(self):
+        current = {"batch_decisions_per_sec": {"batch_64": 100.0}}
+        baseline = {"batch_decisions_per_sec": {"batch_64": 110.0}}
+        assert check_batch_baseline(current, baseline,
+                                    tolerance=0.30) == []
+
+    def test_regression_detected(self):
+        current = {"batch_decisions_per_sec": {"batch_64": 60.0}}
+        baseline = {"batch_decisions_per_sec": {"batch_64": 100.0}}
+        problems = check_batch_baseline(current, baseline, tolerance=0.30)
+        assert len(problems) == 1
+        assert "batch_64" in problems[0]
+
+    def test_only_gate_keys_compared(self):
+        # batch_1 regressions are informational, not gated.
+        current = {"batch_decisions_per_sec": {"batch_64": 100.0,
+                                               "batch_1": 1.0}}
+        baseline = {"batch_decisions_per_sec": {"batch_64": 100.0,
+                                                "batch_1": 1000.0}}
+        assert check_batch_baseline(current, baseline) == []
+
+    def test_missing_keys_ignored(self):
+        assert check_batch_baseline({}, {"batch_decisions_per_sec":
+                                         {"batch_64": 100.0}}) == []
+        assert check_batch_baseline({"batch_decisions_per_sec":
+                                     {"batch_64": 100.0}}, {}) == []
+
+
 class TestBenchCLI:
     def _tiny_scales(self, monkeypatch):
         from repro.bench import perf
@@ -196,3 +258,36 @@ class TestBenchCLI:
                      "--jobs", "1", "--baseline", str(baseline)])
         assert code == 0
         assert "baseline check passed" in capsys.readouterr().out
+
+    def test_bench_batch_out_writes_bench02(self, tmp_path, monkeypatch,
+                                            capsys):
+        self._tiny_scales(monkeypatch)
+        batch_out = tmp_path / "BENCH_02.json"
+        code = main(["bench", "--quick",
+                     "--out", str(tmp_path / "BENCH_01.json"),
+                     "--results-dir", str(tmp_path / "details"),
+                     "--jobs", "1", "--batch-out", str(batch_out)])
+        assert code == 0
+        doc = json.loads(batch_out.read_text())
+        assert doc["bench_id"] == BENCH02_ID
+        assert "batch_64" in doc["batch_decisions_per_sec"]
+        assert "decide_many" in capsys.readouterr().out
+
+    def test_bench_batch_baseline_gate(self, tmp_path, monkeypatch,
+                                       capsys):
+        self._tiny_scales(monkeypatch)
+        baseline = tmp_path / "batch_baseline.json"
+        baseline.write_text(json.dumps(
+            {"batch_decisions_per_sec": {"batch_64": 1e12}}))
+        args = ["bench", "--quick",
+                "--out", str(tmp_path / "BENCH_01.json"),
+                "--results-dir", str(tmp_path / "details"),
+                "--jobs", "1",
+                "--batch-out", str(tmp_path / "BENCH_02.json"),
+                "--batch-baseline", str(baseline)]
+        assert main(args) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        baseline.write_text(json.dumps(
+            {"batch_decisions_per_sec": {"batch_64": 1.0}}))
+        assert main(args) == 0
+        assert "BENCH_02 baseline check passed" in capsys.readouterr().out

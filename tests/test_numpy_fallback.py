@@ -1,0 +1,129 @@
+"""The optional-numpy gate: the pure-python percentile path must be
+bit-identical to the vectorized one, and everything must work with numpy
+absent (``repro.core._compat`` sets ``numpy = None`` on ImportError or
+when ``REPRO_NO_NUMPY`` is set — CI runs a leg with that env var).
+
+The vectorized path only engages at ``NUMPY_MIN_TARGETS`` or more
+percentile targets (below that ``bisect`` wins on fixed overhead), so
+the identity tests use target lists straddling that threshold.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+import repro.core.histogram as histogram_module
+from repro.core import (BouncerConfig, BouncerPolicy, HostContext,
+                        LatencySLO, ManualClock, QueueView, SLORegistry)
+from repro.core._compat import have_numpy
+from repro.core.histogram import NUMPY_MIN_TARGETS, LatencyHistogram
+from repro.core.types import Query
+
+MANY_TARGETS = (1.0, 5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0)
+FEW_TARGETS = (50.0, 90.0)
+
+needs_numpy = pytest.mark.skipif(not have_numpy(),
+                                 reason="numpy not importable")
+
+
+def _random_snapshot(seed, count=500):
+    rng = random.Random(seed)
+    hist = LatencyHistogram()
+    for _ in range(count):
+        hist.record(rng.lognormvariate(-5.0, 1.0))
+    return hist.snapshot()
+
+
+class TestPercentileIdentity:
+    @needs_numpy
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_vectorized_equals_bisect(self, seed, monkeypatch):
+        snap = _random_snapshot(seed)
+        assert len(MANY_TARGETS) >= NUMPY_MIN_TARGETS
+        vectorized = snap.percentiles(MANY_TARGETS)
+        monkeypatch.setattr(histogram_module, "_np", None)
+        fallback = snap.percentiles(MANY_TARGETS)
+        assert vectorized == fallback  # exact float equality
+
+    @needs_numpy
+    def test_boundary_targets_identical(self, monkeypatch):
+        # Percentile targets landing exactly on cumulative-count
+        # boundaries are where searchsorted vs bisect_left tie-breaking
+        # could diverge; pin them explicitly.
+        hist = LatencyHistogram()
+        for value in (0.001, 0.001, 0.01, 0.01, 0.1, 0.1, 0.1, 1.0):
+            hist.record(value)
+        snap = hist.snapshot()
+        targets = (12.5, 25.0, 50.0, 62.5, 87.5, 100.0)
+        vectorized = snap.percentiles(targets)
+        monkeypatch.setattr(histogram_module, "_np", None)
+        assert snap.percentiles(targets) == vectorized
+
+    def test_few_targets_use_bisect_path(self):
+        # Below the threshold both arms run the same bisect code, so this
+        # holds with or without numpy present.
+        snap = _random_snapshot(11)
+        assert snap.percentiles(FEW_TARGETS) == [
+            snap.percentile(p) for p in FEW_TARGETS]
+
+
+class TestNumpyAbsent:
+    def test_cumulative_array_raises_without_numpy(self, monkeypatch):
+        snap = _random_snapshot(7)
+        monkeypatch.setattr(histogram_module, "_np", None)
+        with pytest.raises(RuntimeError):
+            snap.cumulative_array()
+
+    def test_env_gate_disables_numpy(self):
+        # REPRO_NO_NUMPY forces the pure-python path even when numpy is
+        # installed — the CI fallback leg runs the whole battery this way.
+        env = dict(os.environ, REPRO_NO_NUMPY="1")
+        code = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.core._compat import have_numpy, numpy\n"
+             "assert numpy is None and not have_numpy()"],
+            env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+        ).returncode
+        assert code == 0
+
+    def test_bouncer_decisions_identical_without_numpy(self, monkeypatch):
+        # Decision identity end to end: one warmed Bouncer decides with
+        # the module-level numpy handle nulled, a twin decides with it
+        # intact; every decision and estimate must match exactly.
+        slo = LatencySLO.from_ms(p50=18, p90=50)
+        types = ("fast", "slow", "bulk")
+
+        def make_policy():
+            clock = ManualClock()
+            queue = QueueView()
+            ctx = HostContext(clock=clock, queue=queue, parallelism=4)
+            policy = BouncerPolicy(ctx, BouncerConfig(
+                slos=SLORegistry.uniform(slo, types), min_samples=1,
+                retain_min_samples=1, bootstrap_samples=0,
+                fast_path=True, debug_check=True))
+            rng = random.Random(31)
+            for qtype in types:
+                for _ in range(30):
+                    policy.on_completed(Query(qtype=qtype), 0.0,
+                                        rng.lognormvariate(-5.0, 1.0))
+            clock.advance(1.5)
+            for qtype in ("fast", "slow", "slow"):
+                queue.on_enqueue(qtype)
+                policy.on_enqueued(Query(qtype=qtype))
+            return policy
+
+        qtypes = [random.Random(41).choice(types) for _ in range(60)]
+        with_numpy = make_policy()
+        results_numpy = with_numpy.decide_many(
+            [Query(qtype=qtype) for qtype in qtypes])
+        monkeypatch.setattr(histogram_module, "_np", None)
+        without_numpy = make_policy()
+        results_fallback = without_numpy.decide_many(
+            [Query(qtype=qtype) for qtype in qtypes])
+        for a, b in zip(results_numpy, results_fallback):
+            assert a.decision is b.decision
+            assert a.reason is b.reason
+            assert a.estimates == b.estimates
