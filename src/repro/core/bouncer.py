@@ -33,7 +33,8 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (Dict, List, Mapping, Optional, Sequence, Set, Tuple,
+                    Union)
 
 from ..exceptions import ConfigurationError
 from .context import HostContext
@@ -372,6 +373,31 @@ class BouncerPolicy(AdmissionPolicy):
             snapshot = HistogramSnapshot.from_dict(payload)
             if not snapshot.is_empty:
                 self._histogram_for(qtype).preload(snapshot)
+        self.invalidate_estimates()
+
+    def preload_snapshots(self, types: Mapping[str, HistogramSnapshot],
+                          general: Optional[HistogramSnapshot] = None,
+                          adopt_epochs: bool = False) -> None:
+        """Install externally published snapshots (gateway snapshot feed).
+
+        The sharded gateway publishes histogram snapshots across processes
+        (see :mod:`repro.gateway.snapshot`); each consumer applies the
+        changed ones here.  With ``adopt_epochs`` the publisher's epochs
+        are carried into the local dual buffers (epoch handoff), so every
+        process applying the same publication sequence keys its memoized
+        statistics identically — the dual-buffer epoch is the one
+        invalidation token shared across the fleet.  Requires dual-buffer
+        mode, like :meth:`import_state`.
+        """
+        if self._config.histogram_mode != HISTOGRAMS_DUAL_BUFFER:
+            raise ConfigurationError(
+                "snapshot preload requires dual-buffer histograms")
+        if general is not None and not general.is_empty:
+            self._general.preload(general, adopt_epoch=adopt_epochs)
+        for qtype, snapshot in types.items():
+            if not snapshot.is_empty:
+                self._histogram_for(qtype).preload(
+                    snapshot, adopt_epoch=adopt_epochs)
         self.invalidate_estimates()
 
     # -- estimation (Eqs. 2-4) -------------------------------------------
@@ -739,6 +765,20 @@ class BouncerPolicy(AdmissionPolicy):
         stats = self.fast_path_stats
         stats.batch_calls += 1
         stats.batch_queries += len(queries)
+        if len(queries) == 1:
+            # A batch of one *is* one scalar decision: skip the per-batch
+            # entry table, outcome buffer, and record_many lock round-trip
+            # that exist to amortize work across a burst — with nothing to
+            # amortize they were a ~30% throughput tax (BENCH_02 batch_1 vs
+            # BENCH_01 scalar).  _decide is the same engine, so this is
+            # bit-identical to the general path by construction.
+            query = queries[0]
+            result = self._decide(query)
+            self.stats.record(query.qtype, result)
+            results.append(result)
+            if on_decision is not None:
+                on_decision(query, result)
+            return results
         entries: Dict[str, _BatchEntry] = {}
         outcomes: List[Tuple[str, AdmissionResult]] = []
         wait_mean = self.estimate_wait_mean()

@@ -140,20 +140,33 @@ class DualBufferHistogram:
             self._maybe_swap_locked()
             return self._published
 
-    def preload(self, snapshot: HistogramSnapshot) -> None:
+    def preload(self, snapshot: HistogramSnapshot,
+                adopt_epoch: bool = False) -> None:
         """Install a pre-populated snapshot as the published view.
 
         Appendix A's alternative cold-start remedy: deploy with histograms
         captured from a previous installation.  The preloaded snapshot
         serves reads until the first regular swap replaces it with live
         data (or retains it over a sparse interval).
+
+        ``adopt_epoch`` performs the cross-process epoch handoff used by
+        the gateway's shared-memory snapshot protocol: the publisher's
+        epoch (already stamped on ``snapshot``) is carried into this
+        buffer, so every consumer applying the same publication sequence
+        observes identical epochs — the epoch *is* the invalidation token.
+        The local counter still only moves forward (``max`` below), so a
+        subsequent local publish cannot reuse a consumed epoch.
         """
         with self._lock:
             if not self._active.layout.compatible_with(snapshot._layout):
                 raise ConfigurationError(
                     "preloaded snapshot has an incompatible bucket layout")
-            self._epoch += 1
-            self._published = snapshot.with_epoch(self._epoch)
+            if adopt_epoch:
+                self._epoch = max(self._epoch + 1, snapshot.epoch)
+            else:
+                self._epoch += 1
+            self._published = (snapshot if snapshot.epoch == self._epoch
+                               else snapshot.with_epoch(self._epoch))
             self._next_swap = self._clock.now() + self._interval
 
     def force_swap(self) -> HistogramSnapshot:

@@ -17,9 +17,11 @@ Two classes are exposed:
 from __future__ import annotations
 
 import math
+import struct
+from array import array
 from bisect import bisect_left
 from itertools import accumulate
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 from ._compat import numpy as _np
@@ -32,6 +34,13 @@ from ._compat import numpy as _np
 #: threshold the pure-python path is both faster and the one the scalar
 #: admission hot path (two SLO percentiles) already exercises.
 NUMPY_MIN_TARGETS = 6
+
+#: Fixed-size header of the binary snapshot wire form: the three layout
+#: parameters (bucket edges are derived, not shipped), the publish epoch,
+#: the observation count, the value sum, and the bucket-array length.
+#: Little-endian so readers and writers agree across processes regardless
+#: of platform defaults; the dense int64 count array follows immediately.
+SNAPSHOT_WIRE_HEADER = struct.Struct("<dddqqdi")
 
 #: Default smallest distinguishable latency: 1 microsecond.
 DEFAULT_MIN_VALUE = 1e-6
@@ -277,6 +286,7 @@ class HistogramSnapshot:
             "layout": self._layout.to_dict(),
             "count": self.count,
             "sum": self._sum,
+            "epoch": self.epoch,
             "buckets": {str(idx): cnt
                         for idx, cnt in enumerate(self._counts) if cnt},
         }
@@ -297,7 +307,60 @@ class HistogramSnapshot:
             raise ConfigurationError(
                 f"snapshot count {total} does not match bucket sum "
                 f"{sum(counts)}")
-        return cls(layout, counts, total, float(data["sum"]))
+        # ``epoch`` rides along when present (the gateway's cross-process
+        # snapshot handoff); pre-gateway exports default to 0.
+        return cls(layout, counts, total, float(data["sum"]),
+                   epoch=int(data.get("epoch", 0)))
+
+    def to_bytes(self) -> bytes:
+        """Dense binary form for cross-process publication.
+
+        The gateway's shared-memory snapshot board ships snapshots as the
+        existing bucket arrays: a :data:`SNAPSHOT_WIRE_HEADER` (layout
+        parameters, epoch, count, sum, bucket-array length) followed by
+        the dense little-endian int64 count array.  Bucket *edges* are a
+        pure function of the layout parameters, so only the three floats
+        that define them travel.
+        """
+        layout = self._layout
+        header = SNAPSHOT_WIRE_HEADER.pack(
+            layout.min_value, layout.max_value, layout.growth,
+            self.epoch, self.count, self._sum, len(self._counts))
+        counts = array("q", self._counts)
+        if counts.itemsize != 8:  # pragma: no cover - exotic platforms
+            raise RuntimeError("int64 array unavailable on this platform")
+        return header + counts.tobytes()
+
+    @classmethod
+    def from_bytes(cls, buf: bytes, offset: int = 0,
+                   layout: Optional[BucketLayout] = None
+                   ) -> "Tuple[HistogramSnapshot, int]":
+        """Decode one :meth:`to_bytes` record from ``buf`` at ``offset``.
+
+        Returns the snapshot and the offset just past it (records can be
+        packed back to back in one shared-memory slot).  Passing the
+        expected ``layout`` skips re-deriving the bucket geometry and
+        guarantees the decoded snapshot shares the reader's layout object
+        (merge/preload compatibility checks then compare identical
+        floats).
+        """
+        (min_value, max_value, growth, epoch, total, value_sum,
+         num_buckets) = SNAPSHOT_WIRE_HEADER.unpack_from(buf, offset)
+        if layout is None or (layout.min_value != min_value
+                              or layout.max_value != max_value
+                              or layout.growth != growth):
+            layout = BucketLayout(min_value=min_value, max_value=max_value,
+                                  growth=growth)
+        if num_buckets != layout.num_buckets:
+            raise ConfigurationError(
+                f"snapshot carries {num_buckets} buckets but its layout "
+                f"defines {layout.num_buckets}")
+        start = offset + SNAPSHOT_WIRE_HEADER.size
+        end = start + num_buckets * 8
+        counts = array("q")
+        counts.frombytes(bytes(buf[start:end]))
+        return (cls(layout, counts, int(total), float(value_sum),
+                    epoch=int(epoch)), end)
 
     def merged_with(self, other: "HistogramSnapshot",
                     epoch: int = 0) -> "HistogramSnapshot":

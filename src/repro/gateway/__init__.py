@@ -1,0 +1,30 @@
+"""Multi-process admission gateway (sharded Bouncer front end).
+
+The threaded :class:`~repro.runtime.AdmissionServer` tops out at one GIL;
+this package scales admission *decisions* across worker processes.  Each
+worker owns a consistent-hash shard of query types
+(:class:`~repro.gateway.hashring.ShardRouter`) and runs its own
+:class:`~repro.core.bouncer.BouncerPolicy` against histogram snapshots the
+parent publishes cross-process through a shared-memory board
+(:class:`~repro.gateway.snapshot.SnapshotBoard`), with the dual-buffer
+publish epoch carried across the process boundary as the invalidation
+token.  :class:`~repro.gateway.server.GatewayServer` owns the worker
+fleet and the board; :mod:`repro.gateway.loadgen` drives it open-loop
+from generator processes.  See ``docs/gateway.md``.
+"""
+
+from .hashring import ShardRouter
+from .loadgen import LoadgenReport, run_open_loop
+from .server import GatewayServer, PolicySpec, WorkerStats
+from .snapshot import BOARD_DEFAULT_SLOTS, SnapshotBoard
+
+__all__ = [
+    "BOARD_DEFAULT_SLOTS",
+    "GatewayServer",
+    "LoadgenReport",
+    "PolicySpec",
+    "ShardRouter",
+    "SnapshotBoard",
+    "WorkerStats",
+    "run_open_loop",
+]

@@ -1,0 +1,253 @@
+"""Open-loop multi-process load generation against the gateway.
+
+Open loop means arrivals are paced by the wall clock, not by responses:
+each generator process precomputes its entire arrival schedule (qtype
+draws from a seeded :class:`random.Random` and the per-shard frames they
+route into), then walks the schedule sleeping to each tick's absolute
+send time and writing that tick's frames regardless of what has come
+back.  Responses are drained concurrently by one reader thread per shard
+connection, so a lagging worker backs up the kernel socket buffer rather
+than the arrival process — the overload keeps arriving, which is the
+whole point of stress-testing an admission tier (cf. the paper's open
+§5.3 workloads, and the closed-loop in-process
+:class:`repro.runtime.LoadGenerator` it complements).
+
+Frames are preformatted bytes: at 100k+ QPS on a shared core, formatting
+inside the pacing loop would steal the budget the workers need.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.clock import MonotonicClock
+from ..exceptions import ConfigurationError
+from .hashring import ShardRouter
+
+#: Default queries carried by one tick of one generator.  Large ticks
+#: amortize the frame and syscall overhead exactly like ``decide_many``
+#: batches amortize the policy's bookkeeping; at the default 100k+ QPS
+#: targets a tick is a few milliseconds of traffic.
+DEFAULT_TICK_QUERIES = 1024
+
+
+@dataclass(frozen=True)
+class _GeneratorSpec:
+    """One generator process's share of the plan (picklable)."""
+
+    generator: int
+    seed: int
+    socket_paths: Mapping[int, str]
+    shards: int
+    qtypes: Tuple[str, ...]
+    weights: Tuple[float, ...]
+    rate: float                  # this process's arrival rate, QPS
+    duration: float
+    tick_queries: int
+    drain_timeout: float
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregated outcome of one open-loop run."""
+
+    sent: int = 0
+    answered: int = 0
+    accepted: int = 0
+    elapsed: float = 0.0          # max over generators, first send->last reply
+    offered_qps: float = 0.0
+    achieved_qps: float = 0.0
+    generators: int = 0
+    per_shard_sent: Dict[int, int] = field(default_factory=dict)
+    per_shard_answered: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def accepted_ratio(self) -> float:
+        return self.accepted / self.answered if self.answered else 0.0
+
+
+def _build_schedule(spec: _GeneratorSpec,
+                    router: ShardRouter
+                    ) -> Tuple[List[List[Tuple[int, bytes, int]]], Dict[int, int]]:
+    """Precompute every tick's per-shard frames.
+
+    Returns (ticks, expected-frame count per shard); each tick is a list
+    of ``(shard, frame-bytes, query-count)`` entries.
+    """
+    rng = random.Random(spec.seed)
+    total = max(1, int(spec.rate * spec.duration))
+    ticks: List[List[Tuple[int, bytes, int]]] = []
+    expected: Dict[int, int] = {shard: 0 for shard in spec.socket_paths}
+    seq = 0
+    produced = 0
+    while produced < total:
+        count = min(spec.tick_queries, total - produced)
+        produced += count
+        drawn = rng.choices(spec.qtypes, weights=spec.weights, k=count)
+        frames: List[Tuple[int, bytes, int]] = []
+        for shard, owned in sorted(router.assignment(drawn).items()):
+            frame = ("d %d %s\n" % (seq, ",".join(owned))).encode("ascii")
+            frames.append((shard, frame, len(owned)))
+            expected[shard] += 1
+            seq += 1
+        ticks.append(frames)
+    return ticks, expected
+
+
+def _reader(stream: "socket.SocketIO", expected_frames: int,
+            tally: List[float], clock: MonotonicClock) -> None:
+    """Drain one shard connection, counting decisions and accepts.
+
+    ``tally`` is ``[answered, accepted, last_reply_instant]`` — plain
+    list slots because the thread outlives the function scope.
+    """
+    received = 0
+    while received < expected_frames:
+        line = stream.readline()
+        if not line:
+            break
+        if not line.startswith(b"r "):
+            continue
+        bits = line.rsplit(b" ", 1)[1].rstrip(b"\n")
+        received += 1
+        tally[0] += len(bits)
+        tally[1] += bits.count(b"1")
+        tally[2] = clock.now()
+
+
+def _generator_main(spec: _GeneratorSpec,
+                    out: "multiprocessing.queues.SimpleQueue") -> None:
+    """Generator process body: connect, pace, drain, report."""
+    clock = MonotonicClock()
+    router = ShardRouter(spec.shards)
+    ticks, expected = _build_schedule(spec, router)
+    conns: Dict[int, socket.socket] = {}
+    streams: Dict[int, "socket.SocketIO"] = {}
+    tallies: Dict[int, List[float]] = {}
+    threads: List[threading.Thread] = []
+    try:
+        for shard, path in spec.socket_paths.items():
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.connect(path)
+            conns[shard] = conn
+            streams[shard] = conn.makefile("rb")
+            tallies[shard] = [0.0, 0.0, 0.0]
+        for shard in conns:
+            thread = threading.Thread(
+                target=_reader,
+                args=(streams[shard], expected[shard], tallies[shard],
+                      clock),
+                name=f"gw-loadgen-reader-{shard}", daemon=True)
+            thread.start()
+            threads.append(thread)
+        tick_interval = (spec.tick_queries / spec.rate
+                         if spec.rate > 0 else 0.0)
+        start = clock.now()
+        sent = 0
+        per_shard_sent: Dict[int, int] = {shard: 0 for shard in conns}
+        for index, frames in enumerate(ticks):
+            target = start + index * tick_interval
+            lag = target - clock.now()
+            if lag > 0:
+                clock.sleep(lag)
+            for shard, frame, count in frames:
+                conns[shard].sendall(frame)
+                sent += count
+                per_shard_sent[shard] += count
+        deadline = clock.now() + spec.drain_timeout
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - clock.now()))
+        answered = int(sum(tally[0] for tally in tallies.values()))
+        accepted = int(sum(tally[1] for tally in tallies.values()))
+        last_reply = max((tally[2] for tally in tallies.values()
+                          if tally[2]), default=clock.now())
+        out.put({
+            "generator": spec.generator,
+            "sent": sent,
+            "answered": answered,
+            "accepted": accepted,
+            "elapsed": max(last_reply - start, 1e-9),
+            "per_shard_sent": per_shard_sent,
+            "per_shard_answered": {shard: int(tally[0])
+                                   for shard, tally in tallies.items()},
+        })
+    finally:
+        for stream in streams.values():
+            try:
+                stream.close()
+            except OSError:
+                pass
+        for conn in conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def run_open_loop(socket_paths: Mapping[int, str], shards: int,
+                  qtypes: Sequence[str],
+                  weights: Optional[Sequence[float]] = None,
+                  rate: float = 100_000.0, duration: float = 2.0,
+                  processes: int = 2,
+                  tick_queries: int = DEFAULT_TICK_QUERIES,
+                  seed: int = 0, drain_timeout: float = 30.0,
+                  start_method: str = "spawn") -> LoadgenReport:
+    """Drive the gateway open-loop from ``processes`` generators.
+
+    ``rate`` is the *aggregate* offered QPS, split evenly; each generator
+    draws its own qtype stream from ``random.Random(seed + generator)``
+    so the run is a pure function of its seed.  Returns the merged
+    report; ``achieved_qps`` is total answered decisions over the
+    slowest generator's first-send-to-last-reply window.
+    """
+    if processes < 1:
+        raise ConfigurationError(
+            f"processes must be >= 1, got {processes}")
+    if not qtypes:
+        raise ConfigurationError("qtypes must be non-empty")
+    weights_tuple = (tuple(float(w) for w in weights)
+                     if weights is not None
+                     else tuple(1.0 for _ in qtypes))
+    if len(weights_tuple) != len(qtypes):
+        raise ConfigurationError("weights must match qtypes")
+    ctx = multiprocessing.get_context(start_method)
+    out = ctx.SimpleQueue()
+    procs = []
+    for generator in range(processes):
+        spec = _GeneratorSpec(
+            generator=generator, seed=seed + generator,
+            socket_paths=dict(socket_paths), shards=shards,
+            qtypes=tuple(qtypes), weights=weights_tuple,
+            rate=rate / processes, duration=duration,
+            tick_queries=tick_queries, drain_timeout=drain_timeout)
+        proc = ctx.Process(target=_generator_main, args=(spec, out),
+                           name=f"repro-gw-gen-{generator}", daemon=True)
+        proc.start()
+        procs.append(proc)
+    report = LoadgenReport(generators=processes,
+                           offered_qps=float(rate))
+    reports = [out.get() for _ in procs]
+    for proc in procs:
+        proc.join(timeout=drain_timeout)
+        if proc.is_alive():  # pragma: no cover - wedged generator
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for item in reports:
+        report.sent += int(item["sent"])
+        report.answered += int(item["answered"])
+        report.accepted += int(item["accepted"])
+        report.elapsed = max(report.elapsed, float(item["elapsed"]))
+        for shard, count in item["per_shard_sent"].items():
+            report.per_shard_sent[int(shard)] = (
+                report.per_shard_sent.get(int(shard), 0) + int(count))
+        for shard, count in item["per_shard_answered"].items():
+            report.per_shard_answered[int(shard)] = (
+                report.per_shard_answered.get(int(shard), 0) + int(count))
+    if report.elapsed > 0:
+        report.achieved_qps = report.answered / report.elapsed
+    return report

@@ -42,6 +42,56 @@ PolicyFactory = Callable[[HostContext], AdmissionPolicy]
 
 _SHUTDOWN = object()
 
+#: Extra join budget granted after an aborted drain: long enough for a
+#: worker to finish its in-flight handler and consume the re-sent shutdown
+#: sentinel, short enough that ``stop`` never hangs on a wedged handler.
+_ABORT_GRACE = 5.0
+
+
+def decide_many_fail_open(
+        policy: AdmissionPolicy, queries: Sequence[Query],
+        apply: Callable[[Query, AdmissionResult], None],
+        on_policy_error: Callable[[], None]) -> None:
+    """Run one ``decide_many`` burst with per-query fail-open.
+
+    The batch counterpart of ``submit``'s try/except: a policy exception
+    admits exactly the query that raised (``apply`` sees an accept,
+    ``on_policy_error`` fires once) and the burst resumes batching the
+    remainder.  ``apply`` receives every (query, result) pair in arrival
+    order, exactly once.  Shared by :meth:`AdmissionServer.submit_many`
+    and the gateway workers (:mod:`repro.gateway.worker`), so the two
+    hosts cannot drift on fail-open semantics.
+    """
+    done = 0
+
+    def record(query: Query, result: AdmissionResult) -> None:
+        nonlocal done
+        apply(query, result)
+        done += 1
+
+    total = len(queries)
+    while done < total:
+        start = done
+        try:
+            results = policy.decide_many(list(queries[start:]),
+                                         on_decision=record)
+        except Exception:
+            # Fail open for exactly the query that broke the policy, then
+            # resume batching the remainder — the per-query counterpart
+            # of the scalar path's fail-open.
+            on_policy_error()
+            if done < total:
+                record(queries[done], AdmissionResult.accept())
+            continue
+        if done == start:
+            # Defensive: a decide_many that returned without firing the
+            # callback (contract violation) must not spin forever; apply
+            # whatever it returned, positionally.
+            for query, result in zip(list(queries[start:]), results):
+                record(query, result)
+            if done == start:
+                break
+
 
 class AdmissionServer:
     """FIFO queue + worker threads behind an admission policy.
@@ -129,6 +179,12 @@ class AdmissionServer:
         return self.telemetry.expired_count
 
     @property
+    def cancelled_count(self) -> int:
+        """Admitted queries abandoned unprocessed when :meth:`stop` gave
+        up on the drain (their futures report ``cancelled()``)."""
+        return self.telemetry.cancelled_count
+
+    @property
     def policy_errors(self) -> int:
         """Exceptions raised by the policy's decide()/hooks; the server
         fails open (admits) on these, because a crashing admission policy
@@ -153,10 +209,17 @@ class AdmissionServer:
             self._threads.append(thread)
 
     def stop(self, timeout: Optional[float] = 10.0) -> None:
-        """Stop accepting work and join the workers.
+        """Stop accepting work, drain what fits in ``timeout``, and join.
 
-        Queries already queued are still processed (graceful drain).  The
-        telemetry exposition thread, if running, is stopped too.
+        Queries already queued are still processed (graceful drain) while
+        the shared ``timeout`` budget lasts.  If the drain cannot finish
+        in time, the backlog is abandoned: every still-queued future is
+        cancelled (counted in :attr:`cancelled_count`) and the workers are
+        re-signalled so they exit as soon as their in-flight handler
+        returns.  Either way no future is left unresolved — a submission
+        that raced behind the shutdown sentinels is cancelled in the final
+        sweep.  The telemetry exposition thread, if running, is stopped
+        too.
         """
         with self._lock:
             if not self._started or self._stopping:
@@ -164,14 +227,47 @@ class AdmissionServer:
             self._stopping = True
         for _ in self._threads:
             self._queue.put(_SHUTDOWN)
+        deadline = (None if timeout is None
+                    else self._clock.now() + timeout)
         for thread in self._threads:
-            thread.join(timeout=timeout)
+            budget = (None if deadline is None
+                      else max(0.0, deadline - self._clock.now()))
+            thread.join(timeout=budget)
+        stuck = [t for t in self._threads if t.is_alive()]
+        if stuck:
+            # Drain timed out.  Abandon the backlog (cancelling its
+            # futures) and re-sentinel, so each remaining worker exits
+            # right after its current handler instead of working the
+            # whole queue down.
+            self._cancel_queued()
+            for _ in stuck:
+                self._queue.put(_SHUTDOWN)
+            for thread in stuck:
+                thread.join(timeout=_ABORT_GRACE)
         self._threads.clear()
         with self._lock:
             self._started = False
+        # Final sweep: a submit() that passed the stopping check before the
+        # flag flipped can enqueue behind the sentinels; nothing will ever
+        # dequeue it now, so resolve its future here.
+        self._cancel_queued()
         if self._exposition is not None:
             self._exposition.stop()
             self._exposition = None
+
+    def _cancel_queued(self) -> None:
+        """Empty the ingress queue, cancelling every queued future."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue_module.Empty:
+                return
+            if item is _SHUTDOWN:
+                continue
+            query, future = item
+            self.queue_view.on_dequeue(query.qtype)
+            if future.cancel():
+                self.telemetry.on_cancelled(query, now=self._clock.now())
 
     def __enter__(self) -> "AdmissionServer":
         self.start()
@@ -269,16 +365,9 @@ class AdmissionServer:
             # not availability.  The error is counted for alerting.
             self.telemetry.on_policy_error()
             result = AdmissionResult.accept()
-        self.telemetry.on_decision(query, result, now=now,
-                                   queue_length=self.queue_view.length(),
-                                   policy=self.policy)
-        if not result.accepted:
+        future = self._apply_decision(query, result, now)
+        if future is None:
             raise QueryRejectedError(result)
-        future: "Future[Any]" = Future()
-        query.enqueued_at = now
-        self.queue_view.on_enqueue(query.qtype)
-        self.policy.on_enqueued(query)
-        self._queue.put((query, future))
         return future
 
     def try_submit(self, query: Query
@@ -324,42 +413,35 @@ class AdmissionServer:
         out: "List[tuple[AdmissionResult, Optional[Future[Any]]]]" = []
 
         def apply(query: Query, result: AdmissionResult) -> None:
-            self.telemetry.on_decision(query, result, now=now,
-                                       queue_length=self.queue_view.length(),
-                                       policy=self.policy)
-            if not result.accepted:
-                out.append((result, None))
-                return
-            future: "Future[Any]" = Future()
-            query.enqueued_at = now
-            self.queue_view.on_enqueue(query.qtype)
-            self.policy.on_enqueued(query)
-            self._queue.put((query, future))
-            out.append((result, future))
+            out.append((result, self._apply_decision(query, result, now)))
 
-        total = len(queries)
-        while len(out) < total:
-            start = len(out)
-            try:
-                results = self.policy.decide_many(list(queries[start:]),
-                                                  on_decision=apply)
-            except Exception:
-                # Fail open for exactly the query that broke the policy,
-                # then resume batching the remainder — the per-query
-                # counterpart of submit()'s fail-open.
-                self.telemetry.on_policy_error()
-                if len(out) < total:
-                    apply(queries[len(out)], AdmissionResult.accept())
-                continue
-            if len(out) == start:
-                # Defensive: a decide_many that returned without firing
-                # the callback (contract violation) must not spin forever;
-                # apply whatever it returned, positionally.
-                for query, result in zip(list(queries[start:]), results):
-                    apply(query, result)
-                if len(out) == start:
-                    break
+        decide_many_fail_open(self.policy, queries, apply,
+                              self.telemetry.on_policy_error)
         return out
+
+    def _apply_decision(self, query: Query, result: AdmissionResult,
+                        now: float) -> "Optional[Future[Any]]":
+        """Record one decision and enqueue on acceptance (shared tail).
+
+        The single post-decision sequence behind :meth:`submit`,
+        :meth:`submit_many`, and the gateway workers: Point-1 telemetry,
+        then — only for accepted queries — the future, the enqueue
+        bookkeeping (``enqueued_at``, queue view, policy hook), and the
+        handoff to the worker queue.  Returns the future, or ``None`` for
+        a rejection.  Keeping both submission paths on this one method is
+        what makes their fail-open behaviour identical by construction.
+        """
+        self.telemetry.on_decision(query, result, now=now,
+                                   queue_length=self.queue_view.length(),
+                                   policy=self.policy)
+        if not result.accepted:
+            return None
+        future: "Future[Any]" = Future()
+        query.enqueued_at = now
+        self.queue_view.on_enqueue(query.qtype)
+        self.policy.on_enqueued(query)
+        self._queue.put((query, future))
+        return future
 
     # -- workers -----------------------------------------------------------
     def _apply_service_faults(self, query: Query,

@@ -91,6 +91,10 @@ class Telemetry:
         self._expired = reg.counter(
             "expired_total",
             "Admitted queries dropped in the queue past their deadline.")
+        self._cancelled = reg.counter(
+            "cancelled_total",
+            "Admitted queries abandoned at shutdown before any worker "
+            "dequeued them (their futures are cancelled).")
         self._policy_errors = reg.counter(
             "policy_errors_total",
             "Policy decide()/hook exceptions absorbed by fail-open hosts.")
@@ -155,6 +159,10 @@ class Telemetry:
     @property
     def expired_count(self) -> int:
         return int(self._expired.labels(host=self.host).value)
+
+    @property
+    def cancelled_count(self) -> int:
+        return int(self._cancelled.labels(host=self.host).value)
 
     def faults_injected_total(self) -> int:
         """Realized fault injections across all hosts and kinds."""
@@ -327,6 +335,20 @@ class Telemetry:
         if calibration is not None:
             calibration.note_expired(query.query_id, query.qtype)
         self.span_expired(query, now)
+
+    def on_cancelled(self, query: Query, now: float) -> None:
+        """An admitted query was abandoned unprocessed at shutdown."""
+        self._cancelled.labels(host=self.host).inc()
+        tracer = self.tracer
+        if tracer is not None and tracer.sampled(query.query_id):
+            tracer.record(TraceEvent(
+                event="cancelled", point=3, ts=now,
+                query_id=query.query_id, qtype=query.qtype,
+                host=self.host))
+        ctx = query.span_ctx
+        if ctx is not None:
+            query.span_ctx = None
+            self.spans.finish_lifecycle(ctx, now, "cancelled")
 
     def on_policy_error(self) -> None:
         """The host absorbed a policy exception (fail-open admission)."""

@@ -1,0 +1,66 @@
+"""Per-shard gateway metrics aggregation.
+
+The gateway's worker processes keep their own counters (no shared-memory
+metrics: counters are written on every decision, and cross-process
+synchronization there would tax the hot path).  Instead the parent pulls
+counter snapshots over each worker's control socket
+(:meth:`repro.gateway.GatewayServer.collect_stats`) and lands them in a
+:class:`~repro.telemetry.registry.MetricsRegistry` here — as *gauges*
+set to the worker's cumulative values, so repeated collections overwrite
+rather than double-count, and one ``render()`` shows the whole fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from .registry import MetricsRegistry
+
+#: Gauge names recorded per shard, keyed by the stats field they mirror.
+SHARD_GAUGES: Mapping[str, str] = {
+    "decisions": "gateway_shard_decisions",
+    "accepted": "gateway_shard_accepted",
+    "rejected": "gateway_shard_rejected",
+    "policy_errors": "gateway_shard_policy_errors",
+    "generation": "gateway_shard_generation",
+    "snapshot_syncs": "gateway_shard_snapshot_syncs",
+}
+
+_HELP: Mapping[str, str] = {
+    "gateway_shard_decisions": "Admission decisions made, by shard.",
+    "gateway_shard_accepted": "Queries admitted, by shard.",
+    "gateway_shard_rejected": "Queries rejected, by shard.",
+    "gateway_shard_policy_errors":
+        "Policy exceptions absorbed fail-open, by shard.",
+    "gateway_shard_generation":
+        "Latest snapshot-board generation a shard has applied.",
+    "gateway_shard_snapshot_syncs":
+        "Snapshot-board publications a shard has applied.",
+}
+
+
+def record_shard_stats(registry: MetricsRegistry,
+                       stats_by_shard: Mapping[int, Mapping[str, object]]
+                       ) -> None:
+    """Set the per-shard gauges from one stats collection."""
+    for shard, stats in stats_by_shard.items():
+        for stat_key, gauge_name in SHARD_GAUGES.items():
+            value = stats.get(stat_key)
+            if value is None:
+                continue
+            registry.gauge(gauge_name, _HELP[gauge_name]).labels(
+                shard=str(shard)).set(float(value))  # type: ignore[arg-type]
+
+
+def aggregate_shard_stats(
+        stats_by_shard: Mapping[int, Mapping[str, object]]
+        ) -> Dict[str, int]:
+    """Fleet-wide totals of the summable per-shard counters."""
+    totals = {"decisions": 0, "accepted": 0, "rejected": 0,
+              "policy_errors": 0}
+    for stats in stats_by_shard.values():
+        for key in totals:
+            value = stats.get(key)
+            if value is not None:
+                totals[key] += int(value)  # type: ignore[call-overload]
+    return totals

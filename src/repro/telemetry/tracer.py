@@ -47,7 +47,7 @@ class TraceEvent:
     carries the estimate fields, a completion event the measured times.
     """
 
-    event: str                    # decision | dequeue | completion | expired
+    event: str             # decision|dequeue|completion|expired|cancelled
     point: int                    # 1, 2, or 3 (Figure 1)
     ts: float                     # host-clock seconds
     query_id: int

@@ -1,0 +1,335 @@
+"""Tests for the sharded admission gateway (repro.gateway)."""
+
+import os
+
+import pytest
+
+from repro.bench.gateway_perf import (build_policy_spec, build_publication,
+                                      check_gateway_baseline,
+                                      replay_decision_log)
+from repro.core import LatencyHistogram
+from repro.core.histogram import HistogramSnapshot
+from repro.exceptions import ConfigurationError, ShuttingDownError
+from repro.gateway import (BOARD_DEFAULT_SLOTS, GatewayServer, PolicySpec,
+                           ShardRouter, SnapshotBoard, run_open_loop)
+from repro.gateway.snapshot import GENERAL_SLOT, MAX_NAME_BYTES
+from repro.gateway.worker import ShardEngine
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.shards import aggregate_shard_stats
+
+
+QTYPES = ["point_read", "range_scan", "two_hop", "rank", "facet",
+          "analytic", "bulk_export", "admin"]
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(default_slo={50: 0.020, 90: 0.050},
+                  queue_fill={"a": 3, "b": 2}, parallelism=4)
+    kwargs.update(overrides)
+    return PolicySpec(**kwargs)
+
+
+class TestShardRouter:
+    def test_deterministic_across_instances(self):
+        first = ShardRouter(4)
+        second = ShardRouter(4)
+        assert [first.shard_for(q) for q in QTYPES] == \
+               [second.shard_for(q) for q in QTYPES]
+
+    def test_every_shard_owns_points(self):
+        router = ShardRouter(4)
+        owners = {router.shard_for(f"type-{i}") for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_assignment_preserves_arrival_order_within_shard(self):
+        router = ShardRouter(4)
+        stream = [QTYPES[i % len(QTYPES)] for i in range(50)]
+        grouped = router.assignment(stream)
+        for shard, owned in grouped.items():
+            expected = [q for q in stream
+                        if router.shard_for(q) == shard]
+            assert owned == expected
+
+    def test_single_shard_owns_everything(self):
+        router = ShardRouter(1)
+        assert {router.shard_for(q) for q in QTYPES} == {0}
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(0)
+        with pytest.raises(ConfigurationError):
+            ShardRouter(4, replicas=0)
+
+
+def snapshot_with(values, epoch):
+    hist = LatencyHistogram()
+    for value in values:
+        hist.record(value)
+    return hist.snapshot(epoch=epoch)
+
+
+class TestSnapshotBoard:
+    def test_roundtrip_preserves_snapshots_and_epochs(self):
+        with SnapshotBoard.create(slots=8) as board:
+            assert board.read() is None
+            types = {"a": snapshot_with([0.01, 0.02], epoch=3),
+                     "b": snapshot_with([0.05], epoch=3)}
+            general = snapshot_with([0.01, 0.02, 0.05], epoch=3)
+            generation = board.publish(types, general)
+            assert generation == 2
+            view = board.read()
+            assert view.generation == 2
+            assert set(view.types) == {"a", "b"}
+            for name in types:
+                assert view.types[name].epoch == 3
+                assert view.types[name].count == types[name].count
+                assert view.types[name].mean() == types[name].mean()
+            assert view.general.count == general.count
+
+    def test_attach_sees_publications(self):
+        with SnapshotBoard.create(slots=4) as board:
+            board.publish({"a": snapshot_with([0.01], epoch=1)})
+            reader = SnapshotBoard.attach(board.name)
+            try:
+                view = reader.read()
+                assert view.generation == 2
+                assert view.types["a"].count == 1
+            finally:
+                reader.close()
+
+    def test_generation_increments_by_two_per_publish(self):
+        with SnapshotBoard.create(slots=4) as board:
+            for expected in (2, 4, 6):
+                assert board.publish(
+                    {"a": snapshot_with([0.01], epoch=expected)}
+                ) == expected
+            assert board.generation == 6
+
+    def test_rejects_overflow_and_long_names(self):
+        with SnapshotBoard.create(slots=1) as board:
+            snap = snapshot_with([0.01], epoch=1)
+            with pytest.raises(ConfigurationError):
+                board.publish({"a": snap, "b": snap})
+            with pytest.raises(ConfigurationError):
+                board.publish({"x" * (MAX_NAME_BYTES + 1): snap})
+
+    def test_reader_side_cannot_publish(self):
+        with SnapshotBoard.create(slots=4) as board:
+            reader = SnapshotBoard.attach(board.name)
+            try:
+                with pytest.raises(ConfigurationError):
+                    reader.publish({"a": snapshot_with([0.01], epoch=1)})
+            finally:
+                reader.close()
+
+    def test_general_slot_name_reserved(self):
+        assert GENERAL_SLOT.startswith("\x00")
+        assert BOARD_DEFAULT_SLOTS >= 16
+
+
+class TestSnapshotWire:
+    def test_to_bytes_from_bytes_roundtrip(self):
+        snap = snapshot_with([0.001, 0.01, 0.1, 2.0], epoch=7)
+        decoded, end = HistogramSnapshot.from_bytes(snap.to_bytes())
+        assert end == len(snap.to_bytes())
+        assert decoded.epoch == 7
+        assert decoded.count == snap.count
+        assert decoded.mean() == snap.mean()
+        for pct in (50.0, 90.0, 99.0):
+            assert decoded.percentile(pct) == snap.percentile(pct)
+
+
+class TestPolicySpec:
+    def test_build_is_deterministic(self):
+        spec = tiny_spec()
+        first = ShardEngine(spec)
+        second = ShardEngine(spec)
+        qtypes = ["a", "b", "a", "c", "b"] * 20
+        assert first.decide_batch(qtypes) == second.decide_batch(qtypes)
+
+    def test_queue_fill_applied(self):
+        spec = tiny_spec(queue_fill={"a": 5, "b": 2})
+        _, queue, _ = spec.build()
+        assert queue.count_for("a") == 5
+        assert queue.count_for("b") == 2
+        assert queue.length() == 7
+
+    def test_clock_is_frozen(self):
+        _, _, clock = tiny_spec().build()
+        # repro: allow=no-simtime-float-eq (ManualClock(0.0) stores the exact float)
+        assert clock.now() == 0.0
+
+
+class TestShardEngine:
+    def test_decisions_match_scalar_replay(self, tmp_path):
+        spec = build_policy_spec()
+        publications = {}
+        with SnapshotBoard.create(slots=16) as board:
+            engine = ShardEngine(spec, board, shard=0)
+            for index in range(3):
+                types, general = build_publication(index, seed=99)
+                generation = board.publish(types, general)
+                publications[generation] = (types, general)
+                for burst in range(5):
+                    engine.decide_batch(
+                        [QTYPES[(index + burst + i) % len(QTYPES)]
+                         for i in range(32)])
+            log_path = str(tmp_path / "decisions.log")
+            count = engine.flush_log(log_path)
+        assert count == engine.decisions == 3 * 5 * 32
+        decisions, mismatches = replay_decision_log(log_path, spec,
+                                                    publications)
+        assert decisions == count
+        assert mismatches == 0
+
+    def test_generation_logged_before_decisions(self, tmp_path):
+        spec = tiny_spec()
+        with SnapshotBoard.create(slots=4) as board:
+            engine = ShardEngine(spec, board, shard=0)
+            board.publish({"a": snapshot_with([0.01], epoch=1)})
+            engine.decide_batch(["a", "b"])
+            log_path = str(tmp_path / "log")
+            engine.flush_log(log_path)
+        with open(log_path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert lines[0] == "g 2"
+        assert all(line.startswith("d ") for line in lines[1:])
+        assert len(lines) == 3
+        assert engine.snapshot_syncs == 1
+        assert engine.generation == 2
+
+    def test_policy_error_fails_open(self):
+        engine = ShardEngine(tiny_spec())
+        boom = {"count": 0}
+        original = engine.policy.decide_many
+
+        def flaky(queries, on_decision=None):
+            if not boom["count"]:
+                boom["count"] += 1
+                raise RuntimeError("policy bug")
+            return original(queries, on_decision=on_decision)
+
+        engine.policy.decide_many = flaky
+        bits = engine.decide_batch(["a", "b", "c"])
+        assert len(bits) == 3
+        assert bits[0] == "1"          # the query that raised fails open
+        assert engine.policy_errors == 1
+        assert engine.decisions == 3
+
+    def test_stats_shape(self):
+        engine = ShardEngine(tiny_spec(), shard=3)
+        engine.decide_batch(["a", "a", "b"])
+        stats = engine.stats()
+        assert stats["shard"] == 3
+        assert stats["decisions"] == 3
+        assert stats["accepted"] + stats["rejected"] == 3
+        assert stats["per_type"]["a"]["decided"] == 2
+        totals = aggregate_shard_stats({3: stats})
+        assert totals["decisions"] == 3
+
+
+class TestGatewayServer:
+    def test_fleet_decides_and_stops_clean(self, tmp_path):
+        registry = MetricsRegistry()
+        server = GatewayServer(tiny_spec(), shards=2,
+                               runtime_dir=str(tmp_path),
+                               registry=registry)
+        with server:
+            board_name = server._board.name
+            server.publish({"a": snapshot_with([0.01] * 10, epoch=1)})
+            assert server.generation == 2
+            stream = ["a", "b", "a", "c", "b", "a"]
+            bits = server.decide_many(stream)
+            assert len(bits) == len(stream)
+            stats = server.collect_stats()
+            assert sum(s.decisions for s in stats.values()) == len(stream)
+            rendered = registry.render()
+            assert "gateway_shard_decisions" in rendered
+            procs = list(server._procs)
+        assert all(not proc.is_alive() for proc in procs)
+        with pytest.raises(FileNotFoundError):
+            SnapshotBoard.attach(board_name)
+        for path in server.decision_log_paths.values():
+            assert os.path.exists(path)
+        with pytest.raises(ShuttingDownError):
+            server.decide_many(["a"])
+        server.stop()               # idempotent
+
+    def test_decisions_replay_bit_identical_through_sockets(self, tmp_path):
+        spec = build_policy_spec()
+        publications = {}
+        server = GatewayServer(spec, shards=2, runtime_dir=str(tmp_path))
+        with server:
+            for index in range(2):
+                types, general = build_publication(index, seed=11)
+                generation = server.publish(types, general)
+                publications[generation] = (types, general)
+                for burst in range(4):
+                    server.decide_many(
+                        [QTYPES[(burst + i) % len(QTYPES)]
+                         for i in range(64)])
+        total = 0
+        for path in server.decision_log_paths.values():
+            decisions, mismatches = replay_decision_log(path, spec,
+                                                        publications)
+            total += decisions
+            assert mismatches == 0
+        assert total == 2 * 4 * 64
+
+    def test_open_loop_answers_everything(self, tmp_path):
+        server = GatewayServer(tiny_spec(), shards=2,
+                               runtime_dir=str(tmp_path))
+        with server:
+            server.publish({"a": snapshot_with([0.01] * 10, epoch=1)})
+            report = run_open_loop(server.socket_paths(), shards=2,
+                                   qtypes=["a", "b", "c"],
+                                   rate=2000.0, duration=0.5,
+                                   processes=1, tick_queries=100,
+                                   seed=3)
+        assert report.sent == 1000
+        assert report.answered == report.sent
+        assert report.achieved_qps > 0
+        assert sum(report.per_shard_sent.values()) == report.sent
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(ConfigurationError):
+            GatewayServer(tiny_spec(), shards=0)
+
+
+class TestGatewayBaselineGate:
+    def doc(self, **overrides):
+        base = {"bench_id": "BENCH_03", "mode": "full",
+                "bit_identical": True, "replay_mismatches": 0,
+                "replay_decisions": 1000, "sent": 1000, "answered": 1000,
+                "achieved_qps": 120_000.0, "qps_floor": 100_000.0}
+        base.update(overrides)
+        return base
+
+    def test_clean_document_passes(self):
+        assert check_gateway_baseline(self.doc()) == []
+
+    def test_mismatch_fails_unconditionally(self):
+        problems = check_gateway_baseline(
+            self.doc(bit_identical=False, replay_mismatches=3))
+        assert any("bit-identical" in p for p in problems)
+
+    def test_decision_loss_fails(self):
+        problems = check_gateway_baseline(self.doc(answered=990))
+        assert any("never answered" in p for p in problems)
+
+    def test_qps_floor_fails_within_document(self):
+        problems = check_gateway_baseline(
+            self.doc(achieved_qps=90_000.0))
+        assert any("floor" in p for p in problems)
+
+    def test_baseline_regression_fails_same_mode(self):
+        problems = check_gateway_baseline(
+            self.doc(achieved_qps=110_000.0, qps_floor=0.0),
+            baseline=self.doc(achieved_qps=200_000.0))
+        assert any("below baseline" in p for p in problems)
+
+    def test_baseline_skipped_across_modes(self):
+        problems = check_gateway_baseline(
+            self.doc(mode="quick", achieved_qps=30_000.0, qps_floor=0.0),
+            baseline=self.doc(achieved_qps=200_000.0))
+        assert problems == []

@@ -7,7 +7,7 @@ import pytest
 from repro.core import (AlwaysAcceptPolicy, AlwaysRejectPolicy,
                         BouncerConfig, BouncerPolicy, LatencySLO,
                         SLORegistry)
-from repro.core.types import Query
+from repro.core.types import AdmissionResult, Query, RejectReason
 from repro.exceptions import (ConfigurationError, QueryRejectedError,
                               ShuttingDownError)
 from repro.runtime import AdmissionServer
@@ -218,3 +218,164 @@ class TestFailureInjection:
             assert server.submit(Query(qtype="x")).result(
                 timeout=2.0) == ("done", "x")
             assert server.policy_errors == 2
+
+
+class RejectEvensCrashThirds(AlwaysAcceptPolicy):
+    """Deterministic misbehaviour keyed on a per-policy arrival index:
+    every 3rd decision raises, every 2nd (that survives) rejects."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = 0
+
+    def _decide(self, query):
+        self.seen += 1
+        if self.seen % 3 == 0:
+            raise RuntimeError("periodic policy bug")
+        if self.seen % 2 == 0:
+            return AdmissionResult.reject(RejectReason.ADMINISTRATIVE)
+        return AdmissionResult.accept()
+
+
+class TestFailOpenParity:
+    """submit and submit_many must fail open identically (same decisions,
+    same counters, same traces) when the policy misbehaves."""
+
+    def run_scalar(self, queries, telemetry):
+        server = AdmissionServer(lambda ctx: RejectEvensCrashThirds(),
+                                 echo_handler, workers=2,
+                                 telemetry=telemetry)
+        with server:
+            outcomes = [server.try_submit(q) for q in queries]
+            for _, future in outcomes:
+                if future is not None:
+                    future.result(timeout=5.0)
+        return server, outcomes
+
+    def run_batch(self, queries, telemetry):
+        server = AdmissionServer(lambda ctx: RejectEvensCrashThirds(),
+                                 echo_handler, workers=2,
+                                 telemetry=telemetry)
+        with server:
+            outcomes = server.submit_many(queries)
+            for _, future in outcomes:
+                if future is not None:
+                    future.result(timeout=5.0)
+        return server, outcomes
+
+    def test_differential_scalar_vs_batch(self):
+        from repro.telemetry import DecisionTracer, Telemetry
+
+        def make_queries():
+            return [Query(qtype=f"t{i % 3}") for i in range(30)]
+
+        scalar_tel = Telemetry(tracer=DecisionTracer())
+        batch_tel = Telemetry(tracer=DecisionTracer())
+        scalar_server, scalar_out = self.run_scalar(make_queries(),
+                                                    scalar_tel)
+        batch_server, batch_out = self.run_batch(make_queries(),
+                                                 batch_tel)
+
+        # Identical decision pattern, in arrival order.
+        scalar_bits = [result.accepted for result, _ in scalar_out]
+        batch_bits = [result.accepted for result, _ in batch_out]
+        assert scalar_bits == batch_bits
+        assert True in scalar_bits and False in scalar_bits
+
+        # A decision that raised fails open in both paths.
+        assert scalar_server.policy_errors == batch_server.policy_errors
+        assert scalar_server.policy_errors == 30 // 3
+
+        # Identical policy-side tallies.
+        assert (scalar_server.policy.stats.totals().accepted ==
+                batch_server.policy.stats.totals().accepted)
+        assert (scalar_server.policy.stats.totals().rejected ==
+                batch_server.policy.stats.totals().rejected)
+
+        # Identical decision traces (the Point-1 events both hosts emit).
+        def decision_trace(telemetry):
+            return [(e.qtype, e.accepted) for e in
+                    telemetry.tracer.events() if e.event == "decision"]
+
+        assert decision_trace(scalar_tel) == decision_trace(batch_tel)
+
+        # Every accepted query resolved in both paths.
+        for outcomes in (scalar_out, batch_out):
+            for result, future in outcomes:
+                assert future is None or future.done()
+
+
+class TestShutdownUnderLoad:
+    """stop(timeout) with a full queue and in-flight work must leave no
+    orphaned threads and no unresolved futures, however it was fed."""
+
+    def slow_server(self, workers=1):
+        def slow_handler(query):
+            time.sleep(0.05)
+            return "ok"
+
+        return AdmissionServer(lambda ctx: AlwaysAcceptPolicy(),
+                               slow_handler, workers=workers)
+
+    def assert_no_engine_threads(self):
+        import threading
+        assert not [t for t in threading.enumerate()
+                    if t.name.startswith("repro-engine-") and t.is_alive()]
+
+    def check_abandoned_drain(self, server, futures):
+        resolved = [f for f in futures if f.done() and not f.cancelled()]
+        cancelled = [f for f in futures if f.cancelled()]
+        assert len(resolved) + len(cancelled) == len(futures)
+        assert cancelled, "tiny timeout must abandon part of the backlog"
+        assert server.cancelled_count == len(cancelled)
+        self.assert_no_engine_threads()
+        with pytest.raises(ShuttingDownError):
+            server.submit(Query(qtype="x"))
+
+    def test_scalar_submissions_abandoned_drain(self):
+        server = self.slow_server()
+        server.start()
+        futures = [server.submit(Query(qtype="x")) for _ in range(10)]
+        server.stop(timeout=0.1)
+        self.check_abandoned_drain(server, futures)
+
+    def test_batch_submissions_abandoned_drain(self):
+        server = self.slow_server()
+        server.start()
+        outcomes = server.submit_many(
+            [Query(qtype="x") for _ in range(10)])
+        futures = [future for _, future in outcomes]
+        assert all(future is not None for future in futures)
+        server.stop(timeout=0.1)
+        self.check_abandoned_drain(server, futures)
+
+    def test_graceful_drain_cancels_nothing(self):
+        server = self.slow_server(workers=2)
+        server.start()
+        futures = [server.submit(Query(qtype="x")) for _ in range(4)]
+        server.stop(timeout=10.0)
+        assert all(f.result(timeout=0) == "ok" for f in futures)
+        assert server.cancelled_count == 0
+        self.assert_no_engine_threads()
+
+    def test_expired_queries_counted_once_not_cancelled(self):
+        server = self.slow_server()
+        server.start()
+        now = server.ctx.clock.now()
+        futures = [server.submit(Query(qtype="x", deadline=now - 1.0))
+                   for _ in range(5)]
+        server.stop(timeout=10.0)
+        for future in futures:
+            with pytest.raises(Exception):
+                future.result(timeout=0)
+        assert server.expired_count == 5
+        assert server.cancelled_count == 0
+
+    def test_stop_is_idempotent_after_abandon(self):
+        server = self.slow_server()
+        server.start()
+        futures = [server.submit(Query(qtype="x")) for _ in range(10)]
+        server.stop(timeout=0.1)
+        cancelled = sum(1 for f in futures if f.cancelled())
+        server.stop(timeout=0.1)
+        assert server.cancelled_count == cancelled
