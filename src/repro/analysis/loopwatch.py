@@ -1,0 +1,172 @@
+"""Event-loop stall detection: time every callback, fail on budget blows.
+
+The gateway's latency story assumes the asyncio loop always turns in
+microseconds — one synchronous ``time.sleep``, file read or long pure-
+python section inside a coroutine stalls *every* connection multiplexed
+on that loop, and from the outside the symptom is indistinguishable from
+an overloaded backend (the admission tier then rejects for latency it
+caused itself).  The static ``async-no-blocking`` rule catches the
+lexical shapes; :class:`LoopWatch` catches the rest at runtime by
+timestamping every callback the loop runs.
+
+Mechanism: ``asyncio`` executes *everything* — task steps, ``call_soon``
+callbacks, reader/writer callbacks — through ``Handle._run``.  ``install``
+wraps that single choke point with a timer; any callback whose duration
+exceeds the budget is recorded as a :class:`StallEvent` with the callback's
+name and the measured duration.  ``check()`` raises if anything stalled,
+mirroring :meth:`LockCheckRegistry.check`.
+
+Durations are read through an injected :class:`~repro.core.clock.Clock`
+(default :class:`~repro.core.clock.MonotonicClock`), so tests drive the
+detector deterministically with a :class:`~repro.core.clock.ManualClock`
+instead of racing real sleeps against margins.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import asyncio.events
+
+from ..core.clock import Clock, MonotonicClock
+
+#: Default per-callback budget, in seconds.  Generous against scheduler
+#: noise in CI, still two orders of magnitude above a healthy gateway
+#: callback (worker decide bursts run in tens of microseconds).
+DEFAULT_BUDGET = 0.100
+
+# Captured before install() can patch it; uninstall restores this.
+_REAL_HANDLE_RUN = asyncio.events.Handle._run
+
+
+def _describe_callback(handle: "asyncio.events.Handle") -> str:
+    """Best human-readable name for whatever the handle runs."""
+    callback = getattr(handle, "_callback", None)
+    if callback is None:  # pragma: no cover - defensive
+        return repr(handle)
+    # Task steps arrive as the bound method TaskStepMethWrapper/Task.__step;
+    # the task repr names the wrapped coroutine, which is what the reader
+    # actually wants to see in a stall report.
+    owner = getattr(callback, "__self__", None)
+    if owner is not None and isinstance(owner, asyncio.Task):
+        return repr(owner)
+    return getattr(callback, "__qualname__", repr(callback))
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One callback that ran longer than the budget."""
+
+    callback: str
+    duration: float
+    budget: float
+
+    def format(self) -> str:
+        return (f"event-loop stall: {self.callback} ran "
+                f"{self.duration * 1e3:.1f} ms "
+                f"(budget {self.budget * 1e3:.1f} ms)")
+
+
+class LoopWatch:
+    """Patches ``Handle._run`` to time callbacks against a budget.
+
+    One instance may be installed at a time (the patch is a module-global
+    choke point).  Thread-safe: callbacks from any loop on any thread
+    report into the same event list, guarded by a real mutex.
+    """
+
+    def __init__(self, budget: float = DEFAULT_BUDGET,
+                 clock: Optional[Clock] = None) -> None:
+        if budget <= 0:
+            raise ValueError(f"budget must be > 0, got {budget}")
+        self.budget = budget
+        self._clock: Clock = clock if clock is not None else MonotonicClock()
+        self._mutex = threading.Lock()
+        self._stalls: List[StallEvent] = []
+        self._installed = False
+
+    # -- recording -------------------------------------------------------
+    @property
+    def stalls(self) -> List[StallEvent]:
+        with self._mutex:
+            return list(self._stalls)
+
+    def _record(self, handle: "asyncio.events.Handle",
+                duration: float) -> None:
+        event = StallEvent(callback=_describe_callback(handle),
+                           duration=duration, budget=self.budget)
+        with self._mutex:
+            self._stalls.append(event)
+
+    # -- lifecycle -------------------------------------------------------
+    def install(self) -> "LoopWatch":
+        """Patch the loop's callback runner; idempotent per instance."""
+        global _active_watch
+        if self._installed:
+            return self
+        if _active_watch is not None:
+            raise RuntimeError("another LoopWatch is already installed")
+        watch = self
+
+        def _timed_run(handle: "asyncio.events.Handle") -> None:
+            started = watch._clock.now()
+            try:
+                _REAL_HANDLE_RUN(handle)
+            finally:
+                elapsed = watch._clock.now() - started
+                if elapsed > watch.budget:
+                    watch._record(handle, elapsed)
+
+        asyncio.events.Handle._run = _timed_run  # type: ignore[method-assign, assignment]
+        _active_watch = self
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        global _active_watch
+        if not self._installed:
+            return
+        asyncio.events.Handle._run = _REAL_HANDLE_RUN  # type: ignore[method-assign]
+        _active_watch = None
+        self._installed = False
+
+    # -- reporting -------------------------------------------------------
+    def check(self) -> None:
+        """Raise :class:`AssertionError` listing every recorded stall."""
+        stalls = self.stalls
+        if stalls:
+            reports = "\n".join(s.format() for s in stalls)
+            raise AssertionError(
+                f"{len(stalls)} event-loop stall(s) detected by "
+                f"repro.analysis.loopwatch:\n{reports}")
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._stalls.clear()
+
+
+_active_watch: Optional[LoopWatch] = None
+
+
+def current_watch() -> Optional[LoopWatch]:
+    """The installed :class:`LoopWatch`, or ``None``."""
+    return _active_watch
+
+
+@contextmanager
+def monitored_loop(budget: float = DEFAULT_BUDGET,
+                   clock: Optional[Clock] = None) -> Iterator[LoopWatch]:
+    """Context manager: install a watch, uninstall on exit.
+
+    Does *not* call :meth:`LoopWatch.check` implicitly — callers decide
+    whether a stall fails the run or just feeds a report.
+    """
+    watch = LoopWatch(budget=budget, clock=clock)
+    watch.install()
+    try:
+        yield watch
+    finally:
+        watch.uninstall()

@@ -19,7 +19,7 @@ Run sizes come from environment variables so CI can dial them:
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import (AcceptanceAllowancePolicy, AcceptFractionConfig,
                     AcceptFractionPolicy, AdmissionPolicy, BouncerConfig,
@@ -100,7 +100,7 @@ def starvation_demo_mix() -> WorkloadMix:
 # -- policy factories (Table 2 parameters) ---------------------------------
 
 def make_bouncer(slos: Optional[SLORegistry] = None,
-                 **config_overrides) -> PolicyFactory:
+                 **config_overrides: Any) -> PolicyFactory:
     """Basic Bouncer with the Table 2 SLOs."""
     registry = slos or simulation_slos()
 

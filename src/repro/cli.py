@@ -31,8 +31,11 @@ Ten commands:
   logs replaying bit-identically through a single-process policy
   (see ``docs/gateway.md``).
 * ``lint``     — run the project-aware static analysis (determinism,
-  clock, RNG and lock invariants; see ``docs/static_analysis.md``), plus
-  ``--dynamic`` for the lock-order-checked sim+runtime workload.
+  clock, RNG, lock and concurrency invariants; see
+  ``docs/static_analysis.md``), with ``--baseline`` to fail only on new
+  findings and ``--dynamic`` for the instrumented concurrency workloads
+  (lock graph across threads and asyncio, event-loop stall watch,
+  seqlock race harness, two-shard gateway fleet).
 * ``info``     — print the reproduction's configuration: the Table 1 mix,
   the SLOs, the cluster shape, and the experiment-to-bench map.
 """
@@ -42,7 +45,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from . import __version__
 from .bench import (CLUSTER_SCALE, cluster_config, cluster_policy_lineup,
@@ -82,7 +85,7 @@ CLUSTER_POLICIES = {
 CHAOS_POLICIES = ("bouncer",) + tuple(CLUSTER_POLICIES)
 
 
-def _chaos_policy_factory(name: str):
+def _chaos_policy_factory(name: str) -> Any:
     if name == "bouncer":
         return make_bouncer(slos=cluster_slos())
     return dict(cluster_policy_lineup())[CLUSTER_POLICIES[name]]
@@ -244,8 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="project-aware static analysis (docs/static_analysis.md)")
-    lint.add_argument("paths", nargs="*", default=["src"],
-                      help="files or directories to lint (default: src)")
+    lint.add_argument("paths", nargs="*", default=[],
+                      help="files or directories to lint (default: every "
+                           "existing one of src, tests, benchmarks, "
+                           "examples)")
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       dest="output_format")
     lint.add_argument("--select", default=None,
@@ -254,8 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
     lint.add_argument("--dynamic", action="store_true",
-                      help="also run the lock-order-checked sim+runtime "
-                           "workload")
+                      help="also run the instrumented concurrency "
+                           "workloads (lock graph, loopwatch, seqlock "
+                           "race, 2-shard gateway)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="fail only on findings not recorded in FILE")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline FILE with the current "
+                           "findings and exit 0")
 
     sub.add_parser("info", help="print the reproduction's configuration")
     return parser
@@ -374,7 +385,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     tolerance = (args.tolerance if args.tolerance is not None
                  else DEFAULT_TOLERANCE)
 
-    def gate(baseline_path, current, checker, label) -> int:
+    def gate(baseline_path: str, current: Any, checker: Any,
+             label: str) -> int:
         try:
             with open(baseline_path, "r", encoding="utf-8") as fh:
                 baseline = json.load(fh)
@@ -463,7 +475,8 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
 
 
 def _make_span_telemetry(sample_rate: float, spans: bool = True,
-                         calibration: bool = False, window=None):
+                         calibration: bool = False,
+                         window: Optional[int] = None) -> Any:
     """Build a ``Telemetry`` facade for the observability CLI commands."""
     from .telemetry import (CalibrationTracker, MetricsRegistry,
                             SpanRecorder, Telemetry)
@@ -598,10 +611,16 @@ def cmd_calibrate_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Directories ``repro lint`` covers when no paths are given; missing
+#: ones are skipped so the default works in partial checkouts.
+LINT_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run the static rules (and optionally the dynamic lockcheck)."""
-    from .analysis import (LintConfig, available_rules, lint_paths,
-                           render_json, render_text)
+    """Run the static rules (and optionally the dynamic checks)."""
+    from .analysis import (LintConfig, available_rules, filter_baseline,
+                           lint_paths, load_baseline, render_json,
+                           render_text, write_baseline)
 
     if args.list_rules:
         for name, description in available_rules().items():
@@ -616,19 +635,38 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"lint: unknown rule(s): {', '.join(sorted(unknown))}",
                   file=sys.stderr)
             return 2
+    paths = args.paths or [path for path in LINT_DEFAULT_PATHS
+                           if os.path.exists(path)]
     config = LintConfig(select=select)
-    violations, checked = lint_paths(args.paths, config)
+    violations, checked = lint_paths(paths, config)
+    if args.update_baseline:
+        if not args.baseline:
+            print("lint: --update-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        write_baseline(args.baseline, violations)
+        print(f"lint: recorded {len(violations)} finding(s) in "
+              f"{args.baseline}")
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"lint: cannot read baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        violations = filter_baseline(violations, baseline)
     if args.output_format == "json":
         print(render_json(violations, checked))
     else:
         print(render_text(violations, checked))
     failed = bool(violations)
     if args.dynamic:
-        from .analysis.dynamic import render_dynamic_report, run_dynamic_check
+        from .analysis.dynamic import render_check_report, run_dynamic_check
 
-        registry = run_dynamic_check()
-        print(render_dynamic_report(registry))
-        failed = failed or bool(registry.violations)
+        result = run_dynamic_check()
+        print(render_check_report(result))
+        failed = failed or not result.ok()
     return 1 if failed else 0
 
 

@@ -7,6 +7,8 @@ still being able to discriminate configuration problems from runtime ones.
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
@@ -31,7 +33,7 @@ class QueryRejectedError(ReproError):
     rejection, mirroring the error response a LIquid broker would return.
     """
 
-    def __init__(self, result) -> None:
+    def __init__(self, result: Any) -> None:
         super().__init__(f"query rejected: {result}")
         self.result = result
 

@@ -15,7 +15,7 @@ over this module.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..liquid.cluster_sim import (ClusterConfig, ClusterReport,
                                   PolicyFactory, ResilienceConfig,
@@ -122,7 +122,7 @@ def _chaos_row(result: ChaosResult, qtype: str,
     ]
 
 
-def _type_sort_key(name: str):
+def _type_sort_key(name: str) -> Tuple[int, int, str]:
     # QT2 before QT10; non-QT names sort lexically after.
     if name.startswith("QT") and name[2:].isdigit():
         return (0, int(name[2:]), name)

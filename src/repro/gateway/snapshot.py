@@ -67,6 +67,37 @@ _NAME_LEN = struct.Struct("<H")
 #: yields the CPU, so even a single-core host lets the writer finish.
 _READ_RETRIES = 10_000
 
+#: Pure-yield retries before a torn reader starts sleeping: the writer's
+#: critical section is a few microseconds of memcpy, so the common case
+#: resolves within a couple of scheduler yields.
+_SPIN_RETRIES = 64
+
+#: Upper bound on a single reader backoff sleep, in seconds (100 us) —
+#: long enough for a descheduled writer to finish on a loaded single
+#: core, short enough to stay invisible next to the decide RTT.
+_MAX_BACKOFF = 100e-6
+
+
+def _reader_backoff(attempt: int) -> None:
+    """Yield the CPU, escalating to bounded exponential sleeps.
+
+    The seqlock reader races a writer in *another process*, so the
+    injected clock cannot help here: making the writer progress means
+    really giving up the core.  The first :data:`_SPIN_RETRIES` attempts
+    stay pure ``sched_yield``; after that the sleep doubles from 1 us up
+    to :data:`_MAX_BACKOFF` so a reader pinned against a descheduled
+    writer converges instead of burning its whole retry budget hot.
+    """
+    if attempt < _SPIN_RETRIES:
+        # repro: allow=no-wall-clock (sleep(0) is sched_yield, not timed)
+        time.sleep(0)
+        return
+    delay = min(_MAX_BACKOFF, 1e-6 * (1 << min(attempt - _SPIN_RETRIES, 7)))
+    # The writer lives in another process, so no injected clock can order
+    # this wait; the bound keeps the worst case invisible vs decide RTT.
+    # repro: allow=no-wall-clock (bounded cross-process seqlock backoff)
+    time.sleep(delay)
+
 
 class BoardView(NamedTuple):
     """One coherent read of the board."""
@@ -111,9 +142,21 @@ class SnapshotBoard:
         slot_size = _slot_size(layout)
         size = _SLOTS_OFF + slots * slot_size
         shm = shared_memory.SharedMemory(create=True, size=size, name=name)
-        _HEADER.pack_into(shm.buf, 0, _MAGIC, _VERSION, slots, slot_size)
-        _GEN.pack_into(shm.buf, _GEN_OFF, 0)
-        _USED.pack_into(shm.buf, _USED_OFF, 0)
+        try:
+            # The generation word goes last so a crash mid-init can never
+            # leave a valid header next to a stale even generation.
+            # repro: allow=seqlock-discipline (pre-attach init: the name escapes only on return, so no reader can race this)
+            _HEADER.pack_into(shm.buf, 0, _MAGIC, _VERSION, slots,
+                              slot_size)
+            _USED.pack_into(shm.buf, _USED_OFF, 0)
+            _GEN.pack_into(shm.buf, _GEN_OFF, 0)
+        except BaseException:
+            # The create-failure path must not leak the segment: without
+            # this, a crash here orphans the mapping in /dev/shm until
+            # reboot and nobody holds a handle to unlink it.
+            shm.close()
+            shm.unlink()
+            raise
         board = cls(shm, slots, slot_size, owner=True)
         board._layout = layout
         return board
@@ -133,6 +176,7 @@ class SnapshotBoard:
             # registration (the tracker process is shared), breaking its
             # unlink-time bookkeeping.
             shm = shared_memory.SharedMemory(name=name)
+        # repro: allow=seqlock-discipline (header words are written once before the name escapes and are immutable afterwards)
         magic, version, slots, slot_size = _HEADER.unpack_from(shm.buf, 0)
         if magic != _MAGIC or version != _VERSION:
             shm.close()
@@ -174,10 +218,10 @@ class SnapshotBoard:
             raise ConfigurationError(
                 f"{len(entries)} snapshots exceed the board's "
                 f"{self._slots} slots")
-        buf = self._shm.buf
-        gen = _GEN.unpack_from(buf, _GEN_OFF)[0]
-        _GEN.pack_into(buf, _GEN_OFF, gen + 1)        # odd: write in progress
-        offset = _SLOTS_OFF
+        # Serialize and validate everything *before* opening the odd
+        # window: a ConfigurationError mid-copy would otherwise wedge the
+        # board forever-odd and spin every reader to exhaustion.
+        records = []
         for slot_name, snapshot in entries.items():
             name_bytes = slot_name.encode("utf-8")
             if len(name_bytes) > MAX_NAME_BYTES:
@@ -189,13 +233,19 @@ class SnapshotBoard:
             if record_len > self._slot_size:
                 raise ConfigurationError(
                     "snapshot layout larger than the board's slot size")
+            records.append((name_bytes, payload))
+        buf = self._shm.buf
+        gen = _GEN.unpack_from(buf, _GEN_OFF)[0]
+        _GEN.pack_into(buf, _GEN_OFF, gen + 1)        # odd: write in progress
+        offset = _SLOTS_OFF
+        for name_bytes, payload in records:
             _NAME_LEN.pack_into(buf, offset, len(name_bytes))
             start = offset + _NAME_LEN.size
             buf[start:start + len(name_bytes)] = name_bytes
             start += len(name_bytes)
             buf[start:start + len(payload)] = payload
             offset += self._slot_size
-        _USED.pack_into(buf, _USED_OFF, len(entries))
+        _USED.pack_into(buf, _USED_OFF, len(records))
         _GEN.pack_into(buf, _GEN_OFF, gen + 2)        # even: stable
         return int(gen + 2)
 
@@ -203,19 +253,19 @@ class SnapshotBoard:
     def read(self) -> Optional[BoardView]:
         """One coherent view, or ``None`` when nothing is published yet."""
         buf = self._shm.buf
-        for _ in range(_READ_RETRIES):
+        for attempt in range(_READ_RETRIES):
             before = _GEN.unpack_from(buf, _GEN_OFF)[0]
             if before == 0:
                 return None
-            if before % 2:
-                time.sleep(0)          # writer mid-publish; yield and retry
+            if before % 2:             # writer mid-publish; back off, retry
+                _reader_backoff(attempt)
                 continue
             used = _USED.unpack_from(buf, _USED_OFF)[0]
             payload = bytes(buf[_SLOTS_OFF:
                                 _SLOTS_OFF + used * self._slot_size])
             after = _GEN.unpack_from(buf, _GEN_OFF)[0]
             if after != before:
-                time.sleep(0)
+                _reader_backoff(attempt)
                 continue
             return self._decode(int(before), int(used), payload)
         raise RuntimeError("snapshot board read kept tearing; "

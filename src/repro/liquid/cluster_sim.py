@@ -32,8 +32,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
-                    Sequence, Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Deque, Dict, List,
+                    Optional, Sequence, Tuple)
 
 from collections import deque
 
@@ -310,7 +310,7 @@ class ShardHost:
 
     def offer(self, parent: Query, service_time: float,
               callback: Callable[[bool], None],
-              parent_span=None) -> bool:
+              parent_span: Optional[Any] = None) -> bool:
         """Submit one sub-query; ``callback(ok)`` fires on the outcome.
 
         Returns True when the sub-query was admitted.  A rejection invokes
@@ -567,7 +567,7 @@ class BrokerHost:
             self._issue_now(sub, shard, attempt_span)
 
     def _issue_now(self, sub: _SubQuery, shard: ShardHost,
-                   attempt_span=None) -> None:
+                   attempt_span: Optional[Any] = None) -> None:
         if sub.settled:
             # A hedge won while this retry was backing off.
             sub.outstanding -= 1

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.types import Query
 from ..exceptions import ConfigurationError
@@ -222,7 +222,7 @@ class RuleEngine:
         self._rules[rule.name] = rule
         return rule
 
-    def register_all(self, texts) -> List[Rule]:
+    def register_all(self, texts: Iterable[str]) -> List[Rule]:
         """Parse and register several rule definition lines."""
         return [self.register(text) for text in texts]
 

@@ -12,7 +12,7 @@ This is a faithful, small Python rendition used by
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, TypeVar
+from typing import Iterator, List, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 
@@ -52,7 +52,8 @@ class VList(Sequence[T]):
         for chunk in self._chunks:
             yield from chunk
 
-    def __getitem__(self, index):  # type: ignore[override]
+    def __getitem__(self, index: Union[int, slice]
+                    ) -> Union[T, List[T]]:  # type: ignore[override]
         if isinstance(index, slice):
             return [self[i] for i in range(*index.indices(self._size))]
         if index < 0:

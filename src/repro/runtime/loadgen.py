@@ -17,8 +17,9 @@ tool's in-process counterpart:
 from __future__ import annotations
 
 import random
+from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .._stats import mean, percentiles
 from ..core.clock import SleepingClock
@@ -175,7 +176,8 @@ class LoadGenerator:
         result.duration = self._clock.now() - start
         return result
 
-    def _submit_with_retry(self, query: Query, result: LoadResult):
+    def _submit_with_retry(self, query: Query, result: LoadResult
+                           ) -> "Optional[Future[Any]]":
         """Submit once, then retry rejections per the retry policy.
 
         Returns the accepted future, or ``None`` when the query was

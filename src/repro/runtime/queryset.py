@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.types import Query
 from ..exceptions import ConfigurationError
@@ -144,6 +144,6 @@ class QuerySetLibrary:
         # Float drift: fall through to the last type.
         return self._sets[self._mix[-1][0]].sample(rng)
 
-    def query_factory(self):
+    def query_factory(self) -> Callable[[random.Random], Query]:
         """The callable a :class:`LoadGenerator` takes as its source."""
         return self.sample

@@ -14,8 +14,9 @@ from __future__ import annotations
 import itertools
 import random
 import threading
+from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..core.clock import SleepingClock
 from ..core.types import Query
@@ -99,7 +100,7 @@ class ReplicaClient:
     def num_replicas(self) -> int:
         return len(self._replicas)
 
-    def submit(self, query: Query):
+    def submit(self, query: Query) -> "Tuple[Future[Any], int]":
         """Submit with failover; returns ``(future, replica_index)``.
 
         When every replica in a sweep rejects and a retry policy is set,

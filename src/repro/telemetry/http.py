@@ -118,7 +118,7 @@ class _Server(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, metrics_fn: MetricsFn,
+    def __init__(self, address: Tuple[str, int], metrics_fn: MetricsFn,
                  traces_fn: Optional[TracesFn],
                  spans_fn: Optional[SpansFn]) -> None:
         super().__init__(address, _Handler)

@@ -31,7 +31,7 @@ module).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.bouncer import BouncerPolicy
 from ..core.policy import AdmissionPolicy
@@ -397,7 +397,7 @@ class Telemetry:
             ctx.root.annotate(overridden=True)
         query.span_ctx = ctx
 
-    def span_adopt(self, query: Query, handle) -> None:
+    def span_adopt(self, query: Query, handle: Optional[Any]) -> None:
         """Attach an already-open span handle (opened by another host,
         e.g. a broker-side attempt span) as ``query``'s root, so this
         host's queue/execute/close transitions land under it."""
@@ -406,7 +406,7 @@ class Telemetry:
         query.span_ctx = SpanContext(handle,
                                      execute_name="shard_execute")
 
-    def span_annotate(self, query: Query, **attrs) -> None:
+    def span_annotate(self, query: Query, **attrs: Any) -> None:
         """Attach attributes to the query's root span (no-op unsampled)."""
         ctx = query.span_ctx
         if ctx is not None:

@@ -1,0 +1,15 @@
+"""Fixture: blocking calls inside ``async def`` (async-no-blocking)."""
+import asyncio
+import subprocess
+import time
+
+
+async def stalls_loop(sock, lock, fut):
+    time.sleep(0.1)            # line 8: blocks the whole event loop
+    sleep(0.1)                 # line 9: bare sleep (blocking or unawaited)
+    open("data.txt")           # line 10: sync file I/O on the loop thread
+    subprocess.run(["ls"])     # line 11: blocks waiting on the child
+    sock.recv(1024)            # line 12: blocking socket read
+    lock.acquire()             # line 13: sync acquire in a coroutine
+    fut.result()               # line 14: blocks until the future resolves
+    await asyncio.sleep(0)

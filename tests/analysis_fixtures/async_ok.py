@@ -1,0 +1,30 @@
+"""Fixture: shapes the async-no-blocking rule must accept."""
+import asyncio
+import time
+
+
+def sync_path(sock, lock, fut):
+    time.sleep(0.1)            # sync function: not the async rule's business
+    sock.recv(1024)
+    lock.acquire()
+    return fut.result()
+
+
+async def good(stream, lock, fut):
+    await asyncio.sleep(0.01)          # awaited form is the fix
+    data = await stream.read(100)      # stream reads are awaited
+    async with lock:                   # async lock held the async way
+        pass
+    await fut                          # awaiting a future does not block
+    return data, ",".join(["a", "b"])  # str.join is not socket I/O
+
+
+async def off_loop_helper():
+    def helper():
+        time.sleep(0.1)        # nested sync def: the helper's business
+    await asyncio.to_thread(helper)
+
+
+async def suppressed_negative():
+    # repro: allow=async-no-blocking (sub-microsecond by measurement; deliberate)
+    time.sleep(0)

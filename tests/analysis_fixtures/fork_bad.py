@@ -1,0 +1,22 @@
+"""Fixture: unpicklable / handle-carrying Process payloads (fork-safety)."""
+import multiprocessing
+import threading
+
+
+class Owner:
+    def start_worker(self):
+        return multiprocessing.Process(target=self.run)  # line 8: bound method
+
+    def run(self):
+        pass
+
+
+def outer(sock, state_lock, spec):
+    def inner():
+        pass
+    multiprocessing.Process(target=inner)                   # line 17: nested def
+    multiprocessing.Process(target=lambda: None)            # line 18: lambda
+    multiprocessing.Process(target=outer,
+                            args=(threading.Lock(), spec))  # line 20: live lock
+    multiprocessing.Process(target=outer,
+                            args=(sock, state_lock))        # line 22: handles

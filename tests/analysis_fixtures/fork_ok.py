@@ -1,0 +1,18 @@
+"""Fixture: clean spawn payloads (fork-safety)."""
+import multiprocessing
+
+
+def worker_main(spec):
+    pass
+
+
+def launch(spec, log_path):
+    proc = multiprocessing.Process(target=worker_main,
+                                   args=(spec, log_path), daemon=True)
+    proc.start()
+    return proc
+
+
+def launch_with_pipe(spec, conn):
+    # repro: allow=fork-safety (multiprocessing.Pipe ends are designed to cross the fork)
+    return multiprocessing.Process(target=worker_main, args=(spec, conn))

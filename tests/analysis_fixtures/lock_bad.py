@@ -16,7 +16,7 @@ class Counter:
 
     def bump_slowly(self):
         with self._lock:
-            time.sleep(0.01)  # line 19: sleeping while holding the lock
+            time.sleep(0.01)  # repro: allow=no-wall-clock (line 19: fixture exercises lock-discipline)
             self.value += 1
 
     def wait_for_result(self, future):

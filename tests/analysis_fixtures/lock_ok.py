@@ -14,7 +14,7 @@ class Counter:
             self.value += 1
 
     def bump_slowly(self):
-        time.sleep(0.01)  # blocking happens outside the lock
+        time.sleep(0.01)  # repro: allow=no-wall-clock (blocking happens outside the lock)
         with self._lock:
             self.value += 1
 

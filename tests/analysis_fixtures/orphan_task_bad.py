@@ -1,0 +1,8 @@
+"""Fixture: dropped task handles (no-orphan-task)."""
+import asyncio
+
+
+async def spawner(coro):
+    asyncio.create_task(coro())    # line 6: handle discarded
+    asyncio.ensure_future(coro())  # line 7: handle discarded
+    ensure_future(coro())          # line 8: bare-name form, same bug

@@ -1,0 +1,15 @@
+"""Fixture: task handles that are kept (no-orphan-task)."""
+import asyncio
+
+
+async def keeper(coro, tasks):
+    task = asyncio.create_task(coro())           # stored
+    tasks.append(asyncio.ensure_future(coro()))  # handed off
+    await task
+    await asyncio.gather(*tasks)
+    return await asyncio.create_task(coro())     # awaited directly
+
+
+async def fire_and_forget(coro):
+    # repro: allow=no-orphan-task (daemon probe; losing it is acceptable)
+    asyncio.create_task(coro())

@@ -1,0 +1,21 @@
+"""Fixture: seqlock protocol violations (seqlock-discipline)."""
+import struct
+
+_GEN = struct.Struct("<Q")
+_REC = struct.Struct("<I")
+
+
+def torn_reader(shm):
+    return _REC.unpack_from(shm.buf, 8)   # line 9: read outside the loop
+
+
+def unvalidated_reader(shm):
+    for _ in range(10):
+        gen = _GEN.unpack_from(shm.buf, 0)[0]
+        if gen % 2:
+            continue
+        return bytes(shm.buf[8:64])       # line 17: never re-validated
+
+
+def unguarded_writer(shm, value):
+    _REC.pack_into(shm.buf, 8, value)     # line 21: no sequence bumps

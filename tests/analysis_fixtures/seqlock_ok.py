@@ -1,0 +1,29 @@
+"""Fixture: the canonical seqlock reader and writer shapes."""
+import struct
+
+_GEN = struct.Struct("<Q")
+_REC = struct.Struct("<I")
+
+
+def reader(shm):
+    for _ in range(100):
+        before = _GEN.unpack_from(shm.buf, 0)[0]
+        if before % 2:
+            continue
+        payload = bytes(shm.buf[8:64])
+        after = _GEN.unpack_from(shm.buf, 0)[0]
+        if after == before:
+            return payload
+    raise RuntimeError("kept tearing")
+
+
+def writer(shm, value, gen):
+    _GEN.pack_into(shm.buf, 0, gen + 1)   # odd: write in progress
+    _REC.pack_into(shm.buf, 8, value)
+    shm.buf[12] = 1
+    _GEN.pack_into(shm.buf, 0, gen + 2)   # even: stable again
+
+
+def header_init(shm):
+    # repro: allow=seqlock-discipline (pre-attach init: the segment is not shared yet)
+    _REC.pack_into(shm.buf, 0, 0)

@@ -1,0 +1,20 @@
+"""Fixture: leakable SharedMemory segments (shm-lifecycle)."""
+from multiprocessing import shared_memory
+
+
+def leaky(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)  # line 6
+    segment.buf[0] = 1
+    return segment.name        # a raise above leaks the mapping forever
+
+
+def discarded(size):
+    shared_memory.SharedMemory(create=True, size=size)  # line 12: dropped
+
+
+def cleanup_without_unlink(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)  # line 16
+    try:
+        segment.buf[0] = 1
+    finally:
+        segment.close()        # detaches, but never unlinks the segment

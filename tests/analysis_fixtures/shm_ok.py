@@ -1,0 +1,28 @@
+"""Fixture: exception-safe SharedMemory ownership (shm-lifecycle)."""
+from multiprocessing import shared_memory
+
+
+def try_finally(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(segment.buf[:size])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def create_failure_path(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        segment.buf[0] = 1
+    except BaseException:
+        segment.close()
+        segment.unlink()
+        raise
+    return segment
+
+
+def handed_off(size, registry):
+    # repro: allow=shm-lifecycle (ownership transfers to the registry, which unlinks at shutdown)
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    registry.adopt(segment)

@@ -140,6 +140,101 @@ class TestSpanMustFinish:
         assert lines_fired(violations, "span-must-finish") == [2]
 
 
+class TestAsyncNoBlocking:
+    #: ``async_bad.py`` also trips no-wall-clock (time.sleep) — select the
+    #: rule under test so the assertions stay focused.
+    SELECT = {"async-no-blocking"}
+
+    def test_fires_on_each_blocking_shape(self):
+        violations = lint_fixture("async_bad.py", select=self.SELECT)
+        assert rules_fired(violations) == {"async-no-blocking"}
+        assert lines_fired(violations, "async-no-blocking") == \
+            [8, 9, 10, 11, 12, 13, 14]
+
+    def test_silent_on_awaited_and_sync_code(self):
+        assert lint_fixture("async_ok.py", select=self.SELECT) == []
+
+    def test_nested_sync_def_is_not_the_coroutines_problem(self):
+        source = ("import time\n\n"
+                  "async def f(pool):\n"
+                  "    def work():\n"
+                  "        time.sleep(1)\n"
+                  "    await pool.run(work)\n")
+        violations = lint_source(source, "src/repro/x.py",
+                                 LintConfig(select=self.SELECT))
+        assert violations == []
+
+
+class TestNoOrphanTask:
+    SELECT = {"no-orphan-task"}
+
+    def test_fires_on_discarded_spawns(self):
+        violations = lint_fixture("orphan_task_bad.py", select=self.SELECT)
+        assert rules_fired(violations) == {"no-orphan-task"}
+        assert lines_fired(violations, "no-orphan-task") == [6, 7, 8]
+
+    def test_silent_when_stored_awaited_or_handed_off(self):
+        assert lint_fixture("orphan_task_ok.py", select=self.SELECT) == []
+
+
+class TestForkSafety:
+    SELECT = {"fork-safety"}
+
+    def test_fires_on_unpicklable_targets_and_args(self):
+        violations = lint_fixture("fork_bad.py", select=self.SELECT)
+        assert rules_fired(violations) == {"fork-safety"}
+        # Line 22 fires twice: two handle-named args in one Process call.
+        assert lines_fired(violations, "fork-safety") == \
+            [8, 17, 18, 20, 22, 22]
+
+    def test_silent_on_module_level_entrypoints(self):
+        assert lint_fixture("fork_ok.py", select=self.SELECT) == []
+
+
+class TestShmLifecycle:
+    SELECT = {"shm-lifecycle"}
+
+    def test_fires_on_leakable_segments(self):
+        violations = lint_fixture("shm_bad.py", select=self.SELECT)
+        assert rules_fired(violations) == {"shm-lifecycle"}
+        assert lines_fired(violations, "shm-lifecycle") == [6, 12, 16]
+
+    def test_silent_on_exception_safe_ownership(self):
+        assert lint_fixture("shm_ok.py", select=self.SELECT) == []
+
+    def test_attach_without_create_is_out_of_scope(self):
+        source = ("from multiprocessing import shared_memory\n\n"
+                  "def attach(name):\n"
+                  "    return shared_memory.SharedMemory(name=name)\n")
+        violations = lint_source(source, "src/repro/x.py",
+                                 LintConfig(select=self.SELECT))
+        assert violations == []
+
+
+class TestSeqlockDiscipline:
+    SELECT = {"seqlock-discipline"}
+
+    def test_fires_on_protocol_violations(self):
+        violations = lint_fixture("seqlock_bad.py", select=self.SELECT)
+        assert rules_fired(violations) == {"seqlock-discipline"}
+        # Line 21 fires twice: the unguarded write is missing both the
+        # entry bump and the exit bump.
+        assert lines_fired(violations, "seqlock-discipline") == \
+            [9, 17, 21, 21]
+
+    def test_silent_on_canonical_reader_and_writer(self):
+        assert lint_fixture("seqlock_ok.py", select=self.SELECT) == []
+
+    def test_plain_buffers_are_out_of_scope(self):
+        source = ("import struct\n"
+                  "_REC = struct.Struct('<I')\n\n"
+                  "def f(buf, value):\n"
+                  "    _REC.pack_into(buf, 0, value)\n")
+        violations = lint_source(source, "src/repro/x.py",
+                                 LintConfig(select=self.SELECT))
+        assert violations == []
+
+
 class TestSuppressions:
     def test_only_the_wrong_rule_name_still_fires(self):
         violations = lint_fixture("suppressed.py")
@@ -157,7 +252,9 @@ class TestFramework:
         names = set(available_rules())
         assert {"no-wall-clock", "seeded-rng-only", "no-simtime-float-eq",
                 "lock-discipline", "no-swallowed-engine-errors",
-                "span-must-finish"} <= names
+                "span-must-finish", "async-no-blocking", "no-orphan-task",
+                "fork-safety", "shm-lifecycle",
+                "seqlock-discipline"} <= names
 
     def test_select_runs_only_chosen_rules(self):
         violations = lint_fixture("wall_clock_bad.py",
@@ -208,6 +305,12 @@ class TestAcceptance:
         violations, _ = lint_paths([str(REPO_ROOT / "tests")])
         assert violations == []
 
+    def test_benchmarks_and_examples_lint_clean(self):
+        violations, checked = lint_paths(
+            [str(REPO_ROOT / "benchmarks"), str(REPO_ROOT / "examples")])
+        assert checked > 0
+        assert violations == []
+
 
 class TestCLI:
     def test_lint_clean_tree_exits_zero(self, capsys):
@@ -240,3 +343,38 @@ class TestCLI:
         code = main(["lint", "--select", "seeded-rng-only",
                      str(FIXTURES / "wall_clock_bad.py")])
         assert code == 0
+
+    def test_lint_without_paths_covers_default_tree(self, capsys,
+                                                    monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint"]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+
+class TestCLIBaseline:
+    def test_recorded_findings_stop_failing_new_ones_still_fail(
+            self, capsys, tmp_path):
+        baseline = tmp_path / "lint_baseline.json"
+        bad = str(FIXTURES / "wall_clock_bad.py")
+        assert main(["lint", "--baseline", str(baseline),
+                     "--update-baseline", bad]) == 0
+        assert "recorded" in capsys.readouterr().out
+        # Recorded findings no longer fail the run...
+        assert main(["lint", "--baseline", str(baseline), bad]) == 0
+        capsys.readouterr()
+        # ...but findings absent from the baseline still do.
+        code = main(["lint", "--baseline", str(baseline), bad,
+                     str(FIXTURES / "rng_bad.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "seeded-rng-only" in out
+        assert "no-wall-clock" not in out
+
+    def test_update_baseline_without_baseline_is_usage_error(self, capsys):
+        assert main(["lint", "--update-baseline",
+                     str(FIXTURES / "rng_bad.py")]) == 2
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["lint", "--baseline", str(missing),
+                     str(FIXTURES / "rng_bad.py")]) == 2

@@ -87,7 +87,7 @@ class TestRuntimeDeadlines:
         release = []
 
         def slow_handler(query):
-            time.sleep(0.05)
+            time.sleep(0.05)  # repro: allow=no-wall-clock (real handler latency for a real-thread server)
             return "ok"
 
         server = AdmissionServer(accept_all, slow_handler, workers=1)

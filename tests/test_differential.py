@@ -114,6 +114,7 @@ def _run_runtime(plan):
 
     injector = FaultInjector(plan) if plan is not None else None
     server = AdmissionServer(
+        # repro: allow=no-wall-clock (runtime leg of the differential really serves; sim leg uses ManualClock)
         _policy_factory(), handler=lambda q: time.sleep(service_time_of(q)),
         workers=PARALLELISM, fault_injector=injector)
     server.start()

@@ -126,6 +126,61 @@ class TestSnapshotBoard:
         assert GENERAL_SLOT.startswith("\x00")
         assert BOARD_DEFAULT_SLOTS >= 16
 
+    def test_create_failure_does_not_leak_the_segment(self, monkeypatch):
+        import repro.gateway.snapshot as snapshot_mod
+        from multiprocessing import shared_memory
+
+        class ExplodingStruct:
+            def pack_into(self, *args):
+                raise RuntimeError("seeded init failure")
+
+        monkeypatch.setattr(snapshot_mod, "_USED", ExplodingStruct())
+        name = f"repro-test-leak-{os.getpid()}"
+        with pytest.raises(RuntimeError, match="seeded init failure"):
+            SnapshotBoard.create(slots=2, name=name)
+        monkeypatch.undo()
+        # The half-initialised mapping must be gone, not orphaned in
+        # /dev/shm with no surviving handle to unlink it.
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_failed_publish_leaves_the_board_readable(self):
+        # Validation must happen before the generation goes odd: a
+        # mid-copy error would otherwise wedge the board forever-odd and
+        # spin every reader to exhaustion.
+        with SnapshotBoard.create(slots=2) as board:
+            board.publish({"a": snapshot_with([0.01], epoch=1)})
+            with pytest.raises(ConfigurationError):
+                board.publish({"x" * (MAX_NAME_BYTES + 1):
+                               snapshot_with([0.02], epoch=2)})
+            view = board.read()
+            assert view is not None
+            assert view.generation == 2
+            assert view.types["a"].epoch == 1
+
+
+class TestReaderBackoff:
+    def test_spins_before_sleeping(self, monkeypatch):
+        import repro.gateway.snapshot as snapshot_mod
+
+        sleeps = []
+        monkeypatch.setattr(snapshot_mod.time, "sleep", sleeps.append)
+        for attempt in range(snapshot_mod._SPIN_RETRIES):
+            snapshot_mod._reader_backoff(attempt)
+        assert sleeps == [0] * snapshot_mod._SPIN_RETRIES
+
+    def test_backoff_escalates_and_stays_bounded(self, monkeypatch):
+        import repro.gateway.snapshot as snapshot_mod
+
+        sleeps = []
+        monkeypatch.setattr(snapshot_mod.time, "sleep", sleeps.append)
+        first = snapshot_mod._SPIN_RETRIES
+        for attempt in range(first, first + 64):
+            snapshot_mod._reader_backoff(attempt)
+        assert sleeps[0] == pytest.approx(1e-6)
+        assert sleeps == sorted(sleeps)  # monotone escalation
+        assert max(sleeps) == snapshot_mod._MAX_BACKOFF
+
 
 class TestSnapshotWire:
     def test_to_bytes_from_bytes_roundtrip(self):

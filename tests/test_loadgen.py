@@ -62,7 +62,7 @@ class TestLoadGenerator:
 
     def test_response_times_recorded_per_type(self):
         def sleepy(query):
-            time.sleep(0.001)
+            time.sleep(0.001)  # repro: allow=no-wall-clock (real handler latency for a real-thread server)
             return "ok"
 
         with AdmissionServer(lambda ctx: AlwaysAcceptPolicy(), sleepy,

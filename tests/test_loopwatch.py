@@ -1,0 +1,156 @@
+"""Tests for ``repro.analysis.loopwatch`` — event-loop stall detection.
+
+Stall timing is driven through an injected :class:`ManualClock` wherever
+possible so the assertions are deterministic; one test uses a real (but
+generously budgeted) ``time.sleep`` to prove the detector catches actual
+blocking inside a coroutine, which is the production failure mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import asyncio.events
+import time
+
+import pytest
+
+from repro.analysis.loopwatch import (DEFAULT_BUDGET, LoopWatch, StallEvent,
+                                      current_watch, monitored_loop)
+from repro.core.clock import ManualClock
+
+
+def run_loop(coro_fn):
+    asyncio.run(coro_fn())
+
+
+class TestLoopWatch:
+    def test_deterministic_stall_via_manual_clock(self):
+        clock = ManualClock()
+        watch = LoopWatch(budget=0.05, clock=clock)
+        watch.install()
+        try:
+            async def stalls():
+                # From the watch's perspective this callback took 80 ms:
+                # the manual clock jumps while the task step runs.
+                clock.advance(0.08)
+
+            run_loop(stalls)
+        finally:
+            watch.uninstall()
+        assert len(watch.stalls) == 1
+        stall = watch.stalls[0]
+        assert stall.duration == pytest.approx(0.08)
+        assert stall.budget == 0.05
+
+    def test_real_blocking_coroutine_is_caught(self):
+        watch = LoopWatch(budget=0.05).install()
+        try:
+            async def blocks():
+                # The seeded bug: synchronous sleep on the loop thread.
+                # repro: allow=no-wall-clock, async-no-blocking (deliberately blocking the loop so the watch fires)
+                time.sleep(0.25)
+
+            run_loop(blocks)
+        finally:
+            watch.uninstall()
+        assert watch.stalls
+        assert watch.stalls[0].duration >= 0.25
+
+    def test_fast_callbacks_stay_silent(self):
+        watch = LoopWatch(budget=DEFAULT_BUDGET).install()
+        try:
+            async def healthy():
+                for _ in range(20):
+                    await asyncio.sleep(0)
+
+            run_loop(healthy)
+        finally:
+            watch.uninstall()
+        assert watch.stalls == []
+
+    def test_check_raises_listing_stalls(self):
+        clock = ManualClock()
+        watch = LoopWatch(budget=0.01, clock=clock)
+        watch.install()
+        try:
+            async def stalls():
+                clock.advance(0.5)
+
+            run_loop(stalls)
+        finally:
+            watch.uninstall()
+        with pytest.raises(AssertionError, match="event-loop stall"):
+            watch.check()
+        watch.reset()
+        watch.check()  # clean after reset
+
+    def test_stall_names_the_offending_task(self):
+        clock = ManualClock()
+        watch = LoopWatch(budget=0.01, clock=clock)
+        watch.install()
+        try:
+            async def slow_decide():
+                clock.advance(0.5)
+
+            run_loop(slow_decide)
+        finally:
+            watch.uninstall()
+        assert "slow_decide" in watch.stalls[0].callback
+
+    def test_only_one_watch_at_a_time(self):
+        first = LoopWatch().install()
+        try:
+            with pytest.raises(RuntimeError):
+                LoopWatch().install()
+            assert current_watch() is first
+        finally:
+            first.uninstall()
+        assert current_watch() is None
+
+    def test_install_is_idempotent_per_instance(self):
+        watch = LoopWatch().install()
+        try:
+            assert watch.install() is watch
+        finally:
+            watch.uninstall()
+        watch.uninstall()  # second uninstall is a no-op
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LoopWatch(budget=0.0)
+        with pytest.raises(ValueError):
+            LoopWatch(budget=-1.0)
+
+    def test_stall_event_format(self):
+        event = StallEvent(callback="<Task 'decide'>", duration=0.251,
+                           budget=0.1)
+        text = event.format()
+        assert "251.0 ms" in text
+        assert "budget 100.0 ms" in text
+
+
+class TestMonitoredLoop:
+    def test_restores_handle_run_on_exit(self):
+        real = asyncio.events.Handle._run
+        with monitored_loop(budget=0.05) as watch:
+            assert asyncio.events.Handle._run is not real
+            assert current_watch() is watch
+        assert asyncio.events.Handle._run is real
+        assert current_watch() is None
+
+    def test_restores_even_when_body_raises(self):
+        real = asyncio.events.Handle._run
+        with pytest.raises(RuntimeError):
+            with monitored_loop(budget=0.05):
+                raise RuntimeError("boom")
+        assert asyncio.events.Handle._run is real
+
+    def test_does_not_check_implicitly(self):
+        clock = ManualClock()
+        with monitored_loop(budget=0.01, clock=clock) as watch:
+            async def stalls():
+                clock.advance(1.0)
+
+            run_loop(stalls)
+        # Exiting did not raise; the stall is still there for the caller.
+        assert len(watch.stalls) == 1

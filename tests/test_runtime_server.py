@@ -53,7 +53,7 @@ class TestLifecycle:
         slow_done = []
 
         def slow_handler(query):
-            time.sleep(0.02)
+            time.sleep(0.02)  # repro: allow=no-wall-clock (real-thread server timing)
             slow_done.append(query.query_id)
             return "ok"
 
@@ -121,7 +121,7 @@ class TestSubmission:
             deadline = server.ctx.clock.now() + 2.0
             while (server.queue_view.length() and
                    server.ctx.clock.now() < deadline):
-                time.sleep(0.001)
+                time.sleep(0.001)  # repro: allow=no-wall-clock (real-thread server timing)
             assert server.queue_view.length() == 0
 
 
@@ -135,7 +135,7 @@ class TestWithBouncer:
                 slos=slos, min_samples=1, bootstrap_samples=5))
 
         def busy_handler(query):
-            time.sleep(0.001)
+            time.sleep(0.001)  # repro: allow=no-wall-clock (real-thread server timing)
             return "ok"
 
         server = AdmissionServer(factory, busy_handler, workers=2)
@@ -157,7 +157,7 @@ class TestWithBouncer:
                 slos=slos, min_samples=1, bootstrap_samples=3))
 
         def slow_handler(query):
-            time.sleep(0.004)
+            time.sleep(0.004)  # repro: allow=no-wall-clock (real-thread server timing)
             return "ok"
 
         server = AdmissionServer(factory, slow_handler, workers=1)
@@ -311,7 +311,7 @@ class TestShutdownUnderLoad:
 
     def slow_server(self, workers=1):
         def slow_handler(query):
-            time.sleep(0.05)
+            time.sleep(0.05)  # repro: allow=no-wall-clock (real-thread server timing)
             return "ok"
 
         return AdmissionServer(lambda ctx: AlwaysAcceptPolicy(),
