@@ -1,0 +1,448 @@
+"""Event-engine and workload-generation benchmarks (``BENCH_04``).
+
+This module backs ``repro bench --sim`` (docs/performance.md).  Where
+:mod:`repro.bench.perf` measures the admission *decision* hot paths,
+this harness measures the *simulation* hot paths the PR-10 overhaul
+optimized — the discrete-event engine, chunked workload generation,
+query pooling, and batched admission — at the scale the paper's figures
+actually run:
+
+* **Event storm** — a self-scheduling event chain on the calendar-queue
+  engine and on the classic binary heap (``classic_heap=True``), so
+  every result file records the engine speedup measured by the same
+  harness on the same machine.
+* **Figure-6 cell** — one full Bouncer simulation (workload generation,
+  admission, service, metrics) timed end to end; offered queries per
+  wall-second is the headline number CI gates.
+* **Cluster cell** — one LIquid cluster run (brokers, shards, merge),
+  the heaviest consumer of the event engine.
+* **Differential guards** — the Figure-6 cell re-run with every
+  optimization disabled (legacy per-query arm), on the classic heap
+  (``REPRO_CLASSIC_HEAP=1``), and on the stdlib workload fallback.
+  :func:`check_sim_baseline` *hard-fails* unless all arms produce
+  bit-identical reports — throughput claims only count when the
+  optimized engine provably computes the same simulation.
+
+**Honest-ratio methodology.**  :data:`PRE_PR_REFERENCE` freezes the
+numbers measured on the seed engine (binary heap, per-query workload
+generation, scalar admission) immediately before the overhaul landed:
+best-of-3 wall clock, same harness shape as :func:`bench_fig06` /
+:func:`bench_event_storm`.  The emitted document reports the ratio of
+the fresh run against those constants *as measured*, alongside the
+machine fingerprint — this development machine showed ±30% wall-clock
+swings between runs of identical code, so cross-machine and even
+cross-run ratios are indicative, not precise.  The regression gate
+therefore compares against a *committed baseline from the same
+environment* (``benchmarks/baselines/BENCH_04.json``), never against
+the frozen constants.
+
+Wall-clock use: benchmarking is the one legitimate reason to read the
+wall clock outside ``repro.core.clock`` (see ``repro.analysis``); the
+simulated workloads inside every arm still run on seeded virtual time.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import os
+import platform
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core._compat import have_numpy
+from ..sim.driver import run_simulation
+from ..sim.report import SimulationReport
+from ..sim.simulator import Simulator
+from .experiments import SIM_PARALLELISM, make_bouncer, simulation_mix
+from .perf import DEFAULT_TOLERANCE, SCHEMA_VERSION
+
+#: Identifier stamped into the emitted JSON (``BENCH_04.json``).
+BENCH04_ID = "BENCH_04"
+
+#: Arms of the document gated against the committed baseline; the other
+#: rates and all ratios are informational, keeping the CI gate's noise
+#: surface at one well-margined end-to-end number.
+SIM_GATE_KEYS: Tuple[str, ...] = ("fig06_offered_qps",)
+
+#: Seed-engine numbers frozen immediately before the PR-10 overhaul
+#: (same machine, same harness shape, best-of-3 wall clock).  The
+#: ``*_vs_pre_pr`` ratios in every document divide fresh measurements by
+#: these constants; see the module docstring for why they are reported
+#: but never gated.  The counts pin the simulation the timings describe:
+#: a fresh run whose counts differ is measuring a *different* workload
+#: and its ratio is meaningless.
+PRE_PR_REFERENCE: Dict[str, Any] = {
+    "measured_on": "2026-08-08",
+    "engine": "binary heap, per-query workload generation, "
+              "scalar admission, no pooling",
+    "method": "best-of-3 wall clock; +/-30% swings observed between "
+              "identical runs on this machine, so treat ratios as "
+              "indicative",
+    "fig06_num_queries": 30_000,
+    "fig06_seed": 7,
+    "fig06_offered": 66_286,
+    "fig06_completed": 28_368,
+    "fig06_rejected": 1_632,
+    "fig06_wall_seconds": 2.356,
+    "fig06_offered_qps": 28_130.0,
+    "storm_events": 200_000,
+    "storm_events_per_sec": 788_163.0,
+}
+
+
+@dataclass(frozen=True)
+class SimBenchScale:
+    """Iteration counts for one ``--sim`` bench run (quick vs. full)."""
+
+    storm_events: int = 200_000
+    storm_rounds: int = 3
+    fig06_queries: int = 30_000
+    fig06_seed: int = 7
+    fig06_rounds: int = 3
+    #: ``None`` keeps the driver's default warm-up (the pre-PR reference
+    #: shape); tests set a small explicit warm-up to stay fast.
+    fig06_warmup: Optional[int] = None
+    cluster_queries: int = 2_000
+    cluster_warmup: int = 1_000
+    diff_queries: int = 2_500
+
+
+#: The two standard scales; tests construct smaller ones directly.
+#: ``full`` reproduces the :data:`PRE_PR_REFERENCE` shape exactly, so
+#: its ratios compare like with like.
+SIM_SCALES: Dict[str, SimBenchScale] = {
+    "full": SimBenchScale(),
+    "quick": SimBenchScale(storm_events=40_000, storm_rounds=2,
+                           fig06_queries=6_000, fig06_rounds=2,
+                           cluster_queries=800, cluster_warmup=500,
+                           diff_queries=1_200),
+}
+
+
+def _best_of(rounds: int, run: Callable[[], float]) -> float:
+    """Minimum wall time over ``rounds`` runs — the standard de-noised
+    estimate on a machine with scheduler/thermal noise."""
+    best = run()
+    for _ in range(rounds - 1):
+        best = min(best, run())
+    return best
+
+
+def _storm_once(events: int, classic: bool) -> float:
+    sim = Simulator(classic_heap=classic)
+    remaining = [events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule_after(0.001, tick)
+
+    sim.schedule_after(0.001, tick)
+    start = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - start
+
+
+def bench_event_storm(events: int, rounds: int = 3) -> Dict[str, Any]:
+    """Self-scheduling event chain: calendar engine vs classic heap.
+
+    Both arms run in the same process on the same chain shape, so the
+    ``storm_calendar_vs_classic`` ratio is machine-independent the way
+    the frozen pre-PR ratio is not.
+    """
+    calendar = _best_of(rounds, lambda: _storm_once(events, False))
+    classic = _best_of(rounds, lambda: _storm_once(events, True))
+    payload: Dict[str, Any] = {
+        "storm_events": events,
+        "storm_events_per_sec": events / calendar if calendar > 0 else 0.0,
+        "storm_classic_events_per_sec": (events / classic
+                                         if classic > 0 else 0.0),
+    }
+    if classic > 0 and calendar > 0:
+        payload["storm_calendar_vs_classic"] = classic / calendar
+    return payload
+
+
+def _fig06_run(num_queries: int, seed: int,
+               warmup_queries: Optional[int] = None,
+               **kwargs: Any) -> SimulationReport:
+    """One Figure-6 Bouncer cell at the pre-PR reference shape: 1.20x
+    full load, driver-default warm-up unless overridden."""
+    mix = simulation_mix()
+    rate = 1.20 * mix.full_load_qps(SIM_PARALLELISM)
+    return run_simulation(mix, make_bouncer(), rate_qps=rate,
+                          num_queries=num_queries,
+                          warmup_queries=warmup_queries,
+                          parallelism=SIM_PARALLELISM, seed=seed,
+                          **kwargs)
+
+
+def bench_fig06(num_queries: int, seed: int = 7, rounds: int = 3,
+                warmup_queries: Optional[int] = None) -> Dict[str, Any]:
+    """End-to-end Figure-6 cell throughput (offered queries per
+    wall-second, warm-up included in both numerator and denominator —
+    the engine generates and serves those queries too)."""
+    mix = simulation_mix()
+    rate = 1.20 * mix.full_load_qps(SIM_PARALLELISM)
+    warmup = (warmup_queries if warmup_queries is not None
+              else max(num_queries // 5, int(2.0 * rate), 1000))
+    offered = warmup + num_queries
+    report: Optional[SimulationReport] = None
+
+    def once() -> float:
+        nonlocal report
+        start = time.perf_counter()
+        report = _fig06_run(num_queries, seed,
+                            warmup_queries=warmup_queries)
+        return time.perf_counter() - start
+
+    wall = _best_of(rounds, once)
+    assert report is not None
+    return {
+        "fig06_num_queries": num_queries,
+        "fig06_seed": seed,
+        "fig06_offered": offered,
+        "fig06_wall_seconds": wall,
+        "fig06_offered_qps": offered / wall if wall > 0 else 0.0,
+        "fig06_completed": report.overall.completed,
+        "fig06_rejected": report.overall.rejected,
+    }
+
+
+def _report_fingerprint(report: SimulationReport) -> Tuple[Any, ...]:
+    return (report.policy_name, report.duration, report.utilization,
+            report.overall, tuple(sorted(report.per_type.items())),
+            tuple(sorted(report.attainment.items())))
+
+
+def bench_sim_differential(num_queries: int, seed: int = 7,
+                           warmup_queries: Optional[int] = None
+                           ) -> Dict[str, Any]:
+    """In-situ bit-identity guards: the optimized Figure-6 cell against
+    every reference arm, compared on the *full* report (per-type stats,
+    percentiles, utilization — not just counts).
+
+    ``legacy`` disables chunked generation, pooling, and batched
+    admission (the seed code path); ``classic_heap`` swaps the calendar
+    queue for the binary heap via the env hatch; ``no_numpy`` forces the
+    stdlib workload-generation fallback.  Any mismatch fails
+    :func:`check_sim_baseline` regardless of throughput.
+    """
+    import repro.sim.workload as workload
+
+    optimized = _fig06_run(num_queries, seed,
+                           warmup_queries=warmup_queries)
+    reference = _report_fingerprint(optimized)
+
+    arms: Dict[str, bool] = {}
+    legacy = _fig06_run(num_queries, seed,
+                        warmup_queries=warmup_queries,
+                        chunked_workload=False,
+                        query_pooling=False, batched_admission=False)
+    arms["legacy"] = _report_fingerprint(legacy) == reference
+
+    saved_env = os.environ.get("REPRO_CLASSIC_HEAP")
+    os.environ["REPRO_CLASSIC_HEAP"] = "1"
+    try:
+        classic = _fig06_run(num_queries, seed,
+                             warmup_queries=warmup_queries)
+    finally:
+        if saved_env is None:
+            del os.environ["REPRO_CLASSIC_HEAP"]
+        else:
+            os.environ["REPRO_CLASSIC_HEAP"] = saved_env
+    arms["classic_heap"] = _report_fingerprint(classic) == reference
+
+    saved_np = workload._np
+    workload._np = None
+    try:
+        stdlib = _fig06_run(num_queries, seed,
+                            warmup_queries=warmup_queries)
+    finally:
+        workload._np = saved_np
+    arms["no_numpy"] = _report_fingerprint(stdlib) == reference
+
+    return {
+        "differential_queries": num_queries,
+        "differential_identical": arms,
+        "differential_completed": optimized.overall.completed,
+        "differential_rejected": optimized.overall.rejected,
+    }
+
+
+def bench_cluster(num_queries: int, warmup_queries: int,
+                  rate_qps: float = 9_000.0,
+                  seed: int = 7) -> Dict[str, Any]:
+    """One LIquid cluster cell (Bouncer+AA brokers) timed end to end."""
+    from ..liquid import run_cluster_simulation
+    from .experiments import cluster_config, cluster_policy_lineup
+
+    _, factory = cluster_policy_lineup()[0]
+    offered = warmup_queries + num_queries
+    start = time.perf_counter()
+    report = run_cluster_simulation(cluster_config(seed=seed), factory,
+                                    rate_qps=rate_qps,
+                                    num_queries=num_queries,
+                                    warmup_queries=warmup_queries,
+                                    seed=seed)
+    wall = time.perf_counter() - start
+    return {
+        "cluster_queries": num_queries,
+        "cluster_warmup": warmup_queries,
+        "cluster_rate_qps": rate_qps,
+        "cluster_wall_seconds": wall,
+        "cluster_offered_qps": offered / wall if wall > 0 else 0.0,
+        "cluster_completed": report.overall.completed,
+    }
+
+
+def run_sim_bench(scale: SimBenchScale,
+                  mode: str = "custom") -> Dict[str, Any]:
+    """Run every arm; return the ``BENCH_04.json`` document."""
+    document: Dict[str, Any] = {
+        "bench_id": BENCH04_ID,
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": have_numpy(),
+        "pre_pr_reference": dict(PRE_PR_REFERENCE),
+    }
+    document.update(bench_event_storm(scale.storm_events,
+                                      rounds=scale.storm_rounds))
+    document.update(bench_fig06(scale.fig06_queries,
+                                seed=scale.fig06_seed,
+                                rounds=scale.fig06_rounds,
+                                warmup_queries=scale.fig06_warmup))
+    document.update(bench_sim_differential(
+        scale.diff_queries, seed=scale.fig06_seed,
+        warmup_queries=scale.fig06_warmup))
+    document.update(bench_cluster(scale.cluster_queries,
+                                  scale.cluster_warmup,
+                                  seed=scale.fig06_seed))
+    # Honest ratios against the frozen seed-engine constants.  Only the
+    # full scale reproduces the reference shape; other scales still get
+    # the ratio (throughput is roughly scale-independent) but the mode
+    # field says how to read it.
+    ref_qps = PRE_PR_REFERENCE["fig06_offered_qps"]
+    if ref_qps > 0:
+        document["fig06_vs_pre_pr"] = (
+            document["fig06_offered_qps"] / ref_qps)
+    ref_storm = PRE_PR_REFERENCE["storm_events_per_sec"]
+    if ref_storm > 0:
+        document["storm_vs_pre_pr"] = (
+            document["storm_events_per_sec"] / ref_storm)
+    return document
+
+
+def write_sim_results(document: Dict[str, Any],
+                      out_path: str) -> List[str]:
+    """Write the BENCH_04 aggregate JSON; returns the paths written."""
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return [out_path]
+
+
+def check_sim_baseline(current: Dict[str, Any],
+                       baseline: Optional[Dict[str, Any]] = None,
+                       tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Gate a BENCH_04 document.
+
+    Two checks, in severity order:
+
+    * **Bit identity (in-document, unconditional).**  Every
+      ``differential_identical`` arm must be ``True``; a fast engine
+      that computes a different simulation is a correctness bug, not a
+      performance trade, so this gate has no tolerance and needs no
+      baseline.
+    * **Throughput (vs committed baseline).**  :data:`SIM_GATE_KEYS`
+      rates may not drop more than ``tolerance`` below the baseline.
+      Keys absent from either document are skipped, so older baselines
+      neither fail nor mask anything.
+    """
+    problems: List[str] = []
+    arms = current.get("differential_identical", {})
+    for name in sorted(arms):
+        if not arms[name]:
+            problems.append(
+                f"differential arm {name!r}: optimized report is NOT "
+                f"bit-identical to the reference arm")
+    if baseline is not None:
+        for name in SIM_GATE_KEYS:
+            base = baseline.get(name)
+            cur = current.get(name)
+            if base is None or cur is None or base <= 0:
+                continue
+            floor = base * (1.0 - tolerance)
+            if cur < floor:
+                problems.append(
+                    f"{name}: {cur:,.0f} is {(1 - cur / base):.0%} below "
+                    f"baseline {base:,.0f} (tolerance {tolerance:.0%})")
+    return problems
+
+
+def render_sim_summary(document: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary of a BENCH_04 document."""
+    lines = [f"{document.get('bench_id', '?')} "
+             f"(mode={document.get('mode', '?')}, "
+             f"python={document.get('python', '?')}, "
+             f"numpy={'yes' if document.get('numpy') else 'no'})"]
+    lines.append(
+        f"event storm: {document.get('storm_events_per_sec', 0):,.0f} "
+        f"events/sec calendar, "
+        f"{document.get('storm_classic_events_per_sec', 0):,.0f} classic")
+    ratio = document.get("storm_calendar_vs_classic")
+    if ratio is not None:
+        lines.append(f"  calendar vs classic (same machine, same run): "
+                     f"{ratio:.2f}x")
+    lines.append(
+        f"fig06 cell: {document.get('fig06_offered', 0):,} queries in "
+        f"{document.get('fig06_wall_seconds', 0.0):.3f}s = "
+        f"{document.get('fig06_offered_qps', 0):,.0f} offered qps "
+        f"(completed {document.get('fig06_completed', 0):,}, "
+        f"rejected {document.get('fig06_rejected', 0):,})")
+    for key, label in (("fig06_vs_pre_pr", "fig06"),
+                       ("storm_vs_pre_pr", "storm")):
+        value = document.get(key)
+        if value is not None:
+            lines.append(f"  {label} vs frozen pre-PR constant: "
+                         f"{value:.2f}x (indicative — see methodology)")
+    arms = document.get("differential_identical", {})
+    if arms:
+        verdict = ("all bit-identical" if all(arms.values())
+                   else "MISMATCH: " + ", ".join(
+                       name for name in sorted(arms) if not arms[name]))
+        lines.append(f"differential guards ({', '.join(sorted(arms))}): "
+                     f"{verdict}")
+    if "cluster_offered_qps" in document:
+        lines.append(
+            f"cluster cell: {document.get('cluster_offered_qps', 0):,.0f} "
+            f"offered qps at rate "
+            f"{document.get('cluster_rate_qps', 0):,.0f}")
+    return "\n".join(lines)
+
+
+def profile_fig06(num_queries: int, out_path: str, seed: int = 7,
+                  top: int = 40,
+                  warmup_queries: Optional[int] = None) -> str:
+    """Profile one Figure-6 cell with :mod:`cProfile`.
+
+    Writes the raw profile to ``out_path`` (loadable with
+    ``pstats.Stats``) and returns the top-``top`` cumulative-time lines
+    as text — the view that pointed at the scheduler and workload
+    generator as the PR-10 targets in the first place.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _fig06_run(num_queries, seed, warmup_queries=warmup_queries)
+    profiler.disable()
+    profiler.dump_stats(out_path)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()

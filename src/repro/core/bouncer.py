@@ -294,6 +294,11 @@ class BouncerPolicy(AdmissionPolicy):
         # trigger, or a publish boundary — exact because it is the very
         # value the dot product produced, merely reused.
         self._wait_cache: Optional[float] = None
+        # Scalar-path decision entries, one per type, kept warm across
+        # decisions.  Validity is proven by object identity on every use
+        # (same SLO object, same memoized percentile-values list), so no
+        # invalidation hook is needed.
+        self._scalar_entries: Dict[str, _BatchEntry] = {}
         if self._fast:
             ctx.queue.subscribe(self._on_queue_event)
 
@@ -728,9 +733,97 @@ class BouncerPolicy(AdmissionPolicy):
 
     # -- the decision (Algorithm 1) ----------------------------------------
     def _decide(self, query: Query) -> AdmissionResult:
-        """Algorithm 1 as a batch of one: the same engine as decide_many."""
-        wait_mean = self.estimate_wait_mean()
-        return self._entry_result(self._batch_entry(query.qtype), wait_mean)
+        """Algorithm 1 as a batch of one: the same engine as decide_many.
+
+        With the fast path on (and no debug cross-check), the layered
+        pipeline — ``estimate_wait_mean`` → ``_batch_entry`` →
+        ``_fast_percentiles`` → ``_entry_result`` — is *fused* into one
+        flat function: the same statements, side effects, and float
+        operations in the same order, minus roughly ten Python frames and
+        a ``_BatchEntry`` allocation per decision.  Scalar decisions
+        dominate simulation hot loops (Poisson arrivals rarely coincide),
+        so this flattening is a first-order throughput lever
+        (docs/performance.md).  Bit-identity with the layered path is held
+        by the fast-vs-naive and batch differential suites.
+        """
+        if not self._fast or self._debug:
+            wait_mean = self.estimate_wait_mean()
+            return self._entry_result(self._batch_entry(query.qtype),
+                                      wait_mean)
+        qtype = query.qtype
+        # --- estimate_wait_mean / _fast_wait_mean_locked, fused ---
+        with self._fast_lock:
+            terms = self._terms
+            if not terms:
+                wait_mean = 0.0
+            else:
+                if (self._sum_dirty or self._pending_terms
+                        or self._ctx.clock.now() >= self._next_due):
+                    self._refresh_terms_locked()
+                if self._watch:
+                    self._service_watch_locked()
+                    if self._sum_dirty:
+                        self._refresh_terms_locked()
+                cached_wait = self._wait_cache
+                if cached_wait is None:
+                    total = 0.0
+                    for term in self._terms.values():
+                        total += term.count * term.mean
+                    cached_wait = total / self._ctx.parallelism
+                    self._wait_cache = cached_wait
+                wait_mean = cached_wait
+        # --- _batch_entry, fused (same snapshot touch order: Eq. 2 walk
+        # first, then the arriving type's histograms) ---
+        hist = self._hists.get(qtype)
+        if hist is None:
+            hist = self._new_histogram()
+            self._hists[qtype] = hist
+        own = hist.snapshot()
+        cold = own.count < self._min_trusted
+        if cold:
+            snap = self._general.snapshot()
+            slo = self._slos.default
+        else:
+            snap = own
+            slo = self._slos.for_type(qtype)
+        values: Optional[List[float]]
+        if snap.is_empty:
+            values = None
+        else:
+            # --- _fast_percentiles / _stat_entry_locked, fused ---
+            with self._fast_lock:
+                term = self._terms.get(qtype)
+                if term is not None and term.mean is not None:
+                    if term.used_general:
+                        if not cold:
+                            self._sum_dirty = True
+                    elif term.epoch != own.epoch:
+                        self._sum_dirty = True
+                if (cold and self._general_deps
+                        and snap.epoch != self._general_epoch_used):
+                    self._sum_dirty = True
+                key = _GENERAL_KEY if cold else qtype
+                fstats = self.fast_path_stats
+                sentry = self._stat_cache.get(key)
+                if sentry is None or sentry.epoch != snap.epoch:
+                    sentry = _SnapshotStats(snap.epoch, snap.mean())
+                    self._stat_cache[key] = sentry
+                    fstats.cache_misses += 1
+                else:
+                    fstats.cache_hits += 1
+                ptuple = tuple(slo.percentiles)
+                values = sentry.percentiles.get(ptuple)
+                if values is None:
+                    values = snap.percentiles(slo.percentiles)
+                    sentry.percentiles[ptuple] = values
+        # --- _entry_result, through a per-type entry kept warm across
+        # decisions (valid while its inputs are the very same objects) ---
+        entry = self._scalar_entries.get(qtype)
+        if (entry is None or entry.slo is not slo
+                or entry.values is not values or entry.cold != cold):
+            entry = _BatchEntry(slo, cold, values)
+            self._scalar_entries[qtype] = entry
+        return self._entry_result(entry, wait_mean)
 
     def decide_many(
             self, queries: Sequence[Query],

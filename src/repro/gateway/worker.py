@@ -123,7 +123,12 @@ class ShardEngine:
         self.policy_errors = 0
         self.snapshot_syncs = 0
         self.per_type: Dict[str, List[int]] = {}   # qtype -> [decided, ok]
-        self._log: List[str] = []
+        # Append-only decision log, packed as UTF-8 bytes.  A list of str
+        # held one ~50-byte object per decision; one bytearray holds the
+        # same flushed text (each record appended with its newline) in a
+        # single growing buffer — ~10x less memory per million decisions
+        # and no join pass at flush time.
+        self._log = bytearray()
 
     def _on_policy_error(self) -> None:
         self.policy_errors += 1
@@ -145,7 +150,7 @@ class ShardEngine:
         self.policy.preload_snapshots(view.types, view.general,
                                       adopt_epochs=True)
         self.snapshot_syncs += 1
-        self._log.append(f"g {view.generation}")
+        self._log += f"g {view.generation}\n".encode("utf-8")
 
     def decide_batch(self, qtypes: Sequence[str]) -> str:
         """Decide one frame; returns the accept bits as a 0/1 string."""
@@ -158,7 +163,7 @@ class ShardEngine:
         def apply(query: Query, result: AdmissionResult) -> None:
             bit = "1" if result.accepted else "0"
             bits.append(bit)
-            log.append(f"d {query.qtype} {bit}")
+            log.extend(f"d {query.qtype} {bit}\n".encode("utf-8"))
             tally = per_type.get(query.qtype)
             if tally is None:
                 tally = per_type.setdefault(query.qtype, [0, 0])
@@ -187,11 +192,14 @@ class ShardEngine:
         }
 
     def flush_log(self, path: str) -> int:
-        """Write the decision log; returns the number of decisions."""
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(self._log))
-            if self._log:
-                handle.write("\n")
+        """Write the decision log; returns the number of decisions.
+
+        The flushed text is byte-for-byte what the ``List[str]`` log
+        produced (newline-terminated records, empty file for an empty
+        log) — the replay reader is unchanged.
+        """
+        with open(path, "wb") as handle:
+            handle.write(self._log)
         return self.decisions
 
 

@@ -393,10 +393,15 @@ class ShardHost:
                                                      now, self._host)
                 errored = self._faults.should_error(subquery, now,
                                                     self._host)
-            self._sim.schedule_after(
-                service,
-                lambda s=subquery, cb=callback, e=errored:
-                    self._complete(s, cb, e))
+            # Handle-free scheduling: completions are never cancelled, so
+            # skip the ScheduledEvent allocation and the closure.
+            self._sim._schedule_call(now + service, self._complete_entry,
+                                     (subquery, callback, errored))
+
+    def _complete_entry(self, item: "Tuple[Query, Callable[[bool], None], "
+                                    "bool]") -> None:
+        subquery, callback, errored = item
+        self._complete(subquery, callback, errored)
 
     def _resume_after_stall(self) -> None:
         self._stall_wakeup_at = None
@@ -542,8 +547,8 @@ class BrokerHost:
                     "subquery", self._sim.now, shard=shard.index)
             self._launch(sub, shard)
             if hedgeable:
-                self._sim.schedule_after(
-                    res.hedge_after, lambda s=sub: self._fire_hedge(s))
+                self._sim._schedule_call(self._sim.now + res.hedge_after,
+                                         self._fire_hedge, sub)
 
     def _launch(self, sub: _SubQuery, shard: ShardHost,
                 delay: float = 0.0, label: str = "shard_attempt") -> None:
@@ -591,8 +596,8 @@ class BrokerHost:
                     parent_span=attempt_span)
         if (not attempt_done[0] and not sub.settled
                 and res is not None and res.subquery_timeout is not None):
-            self._sim.schedule_after(res.subquery_timeout,
-                                     lambda: on_outcome(False))
+            self._sim._schedule_call(
+                self._sim.now + res.subquery_timeout, on_outcome, False)
 
     def _fire_hedge(self, sub: _SubQuery) -> None:
         if sub.settled or sub.hedged:
@@ -662,8 +667,8 @@ class BrokerHost:
         if execution.round_span is not None:
             execution.merge_span = execution.round_span.child_span(
                 "merge", self._sim.now, host=self._host)
-        self._sim.schedule_after(overhead,
-                                 lambda: self._after_merge(execution))
+        self._sim._schedule_call(self._sim.now + overhead,
+                                 self._after_merge, execution)
 
     def _after_merge(self, execution: _QueryExecution) -> None:
         if execution.merge_span is not None:
@@ -951,7 +956,9 @@ def run_cluster_simulation(config: ClusterConfig,
             idx += 1
         return Query(qtype=names[idx], arrival_time=now)
 
-    def arrive() -> None:
+    def arrive(_arg: object = None) -> None:
+        # ``_arg`` is unused; taking one parameter lets arrivals chain on
+        # the simulator's handle-free ``_schedule_call`` path.
         nonlocal offered
         offered += 1
         if offered == warmup_queries + 1:
@@ -963,9 +970,10 @@ def run_cluster_simulation(config: ClusterConfig,
         cluster.offer(next_query(sim.now))
         if offered < total:
             gap = arrival_rng.expovariate(rate_qps)
-            sim.schedule_after(gap, arrive)
+            sim._schedule_call(sim.now + gap, arrive, None)
 
-    sim.schedule_after(arrival_rng.expovariate(rate_qps), arrive)
+    sim._schedule_call(sim.now + arrival_rng.expovariate(rate_qps),
+                       arrive, None)
     sim.run()
 
     metrics = cluster.metrics

@@ -411,16 +411,25 @@ class AdmissionServer:
         for query in queries:
             query.arrival_time = now
         out: "List[tuple[AdmissionResult, Optional[Future[Any]]]]" = []
+        # Buffer the burst's accepted/rejected counters and flush them in
+        # one ``add_many`` pass at the end — a scrape racing the burst
+        # sees counters at most one burst stale, never torn.
+        batch = self.telemetry.batch()
 
         def apply(query: Query, result: AdmissionResult) -> None:
-            out.append((result, self._apply_decision(query, result, now)))
+            out.append((result,
+                        self._apply_decision(query, result, now,
+                                             defer=batch)))
 
         decide_many_fail_open(self.policy, queries, apply,
                               self.telemetry.on_policy_error)
+        batch.flush()
         return out
 
     def _apply_decision(self, query: Query, result: AdmissionResult,
-                        now: float) -> "Optional[Future[Any]]":
+                        now: float,
+                        defer: Optional["Any"] = None
+                        ) -> "Optional[Future[Any]]":
         """Record one decision and enqueue on acceptance (shared tail).
 
         The single post-decision sequence behind :meth:`submit`,
@@ -433,7 +442,7 @@ class AdmissionServer:
         """
         self.telemetry.on_decision(query, result, now=now,
                                    queue_length=self.queue_view.length(),
-                                   policy=self.policy)
+                                   policy=self.policy, defer=defer)
         if not result.accepted:
             return None
         future: "Future[Any]" = Future()

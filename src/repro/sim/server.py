@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # avoid a sim <-> telemetry import cycle at runtime
 
 from ..core.context import HostContext
 from ..core.policy import AdmissionPolicy, QueueView
-from ..core.types import AdmissionResult, Query
+from ..core.types import AdmissionResult, Query, QueryPool
 from ..exceptions import ConfigurationError
 from .report import ServerMetrics
 from .simulator import Simulator
@@ -32,6 +32,10 @@ from .workload import service_time_of
 PolicyFactory = Callable[[HostContext], AdmissionPolicy]
 DecisionHook = Callable[[float, Query, AdmissionResult], None]
 PriorityFn = Callable[[Query], float]
+
+#: Flush the deferred telemetry buffer once this many updates accumulate
+#: (bounds scrape staleness on runs whose engines never all go idle).
+_TELE_FLUSH = 512
 
 
 class SimulatedServer:
@@ -79,6 +83,13 @@ class SimulatedServer:
         start.
     host_label:
         This host's name for fault targeting and telemetry attribution.
+    query_pool:
+        Optional :class:`~repro.core.types.QueryPool`.  When supplied, the
+        host releases each query back to the pool at its terminal point
+        (rejection, in-queue expiration, or completion) so the workload
+        driver can recycle the objects.  Only enable pooling when no hook
+        retains queries past those points (the stock metrics and policies
+        do not; a decision hook or telemetry sink might).
     """
 
     def __init__(self, sim: Simulator, parallelism: int,
@@ -89,7 +100,8 @@ class SimulatedServer:
                  priority_fn: Optional[PriorityFn] = None,
                  telemetry: Optional["Telemetry"] = None,
                  fault_injector: Optional["FaultInjector"] = None,
-                 host_label: str = "sim") -> None:
+                 host_label: str = "sim",
+                 query_pool: Optional["QueryPool"] = None) -> None:
         if parallelism < 1:
             raise ConfigurationError(
                 f"parallelism must be >= 1, got {parallelism}")
@@ -106,6 +118,18 @@ class SimulatedServer:
         self._telemetry = telemetry
         self._faults = fault_injector
         self._host = host_label
+        self._pool = query_pool
+        # Deferred registry updates for the Point-2/3 histograms (waits,
+        # processing, response): buffered per drain and flushed through
+        # ``MetricsRegistry.add_many`` whenever all engines go idle or the
+        # buffer tops ``_TELE_FLUSH``.  Point-1 counters stay immediate —
+        # a rejection storm with no completions would otherwise never
+        # flush them.
+        self._tele_batch = telemetry.batch() if telemetry is not None else None
+        # Arrival instant of the burst currently flowing through
+        # ``offer_many``; lets the batch callback be a plain bound method
+        # instead of a per-burst closure.
+        self._batch_now = 0.0
         # Dispatch-resume instant scheduled for an active engine stall;
         # guards against piling up duplicate wake-up events.
         self._stall_wakeup_at: Optional[float] = None
@@ -165,24 +189,31 @@ class SimulatedServer:
         policy's ``decide_many`` fires :meth:`_apply_decision` after each
         decision, so an accepted query is enqueued (and possibly dispatched)
         before the next query in the burst is decided — exactly the state
-        sequential arrivals would observe.  With a fault injector armed the
-        burst degrades to the scalar loop, because fault windows interleave
-        probabilistic draws (admission overrides, error verdicts) with
-        dispatch in arrival order and batching would reorder that stream.
+        sequential arrivals would observe.  With a fault injector *armed*
+        the burst degrades to the scalar loop, because fault windows
+        interleave probabilistic draws (admission overrides, error
+        verdicts) with dispatch in arrival order and batching would
+        reorder that stream.  A merely attached-but-unarmed injector is
+        inert (all its hooks are no-ops that consume no randomness), so it
+        does not force the degradation; neither does an attached tracer —
+        telemetry fires per decision inside :meth:`_apply_decision` either
+        way, so tracing and batching compose.
         """
         if not queries:
             return []
-        if self._faults is not None:
+        if self._faults is not None and self._faults.armed:
             return [self.offer(query) for query in queries]
         now = self._sim.now
+        note_arrival = self.metrics.note_arrival
         for query in queries:
             query.arrival_time = now
-            self.metrics.note_arrival(now)
+            note_arrival(now)
+        self._batch_now = now
+        return self.policy.decide_many(queries,
+                                       on_decision=self._apply_batched)
 
-        def apply(query: Query, result: AdmissionResult) -> None:
-            self._apply_decision(query, result, now)
-
-        return self.policy.decide_many(queries, on_decision=apply)
+    def _apply_batched(self, query: Query, result: AdmissionResult) -> None:
+        self._apply_decision(query, result, self._batch_now)
 
     def _apply_decision(self, query: Query, result: AdmissionResult,
                         now: float) -> None:
@@ -199,6 +230,8 @@ class SimulatedServer:
                                         policy=self.policy)
         if not result.accepted:
             self.metrics.record_rejection(query, result)
+            if self._pool is not None:
+                self._pool.release(query)
             return
         query.enqueued_at = now
         # Sample the service demand once and stamp it on the query; dispatch
@@ -275,13 +308,16 @@ class SimulatedServer:
                 self.metrics.record_expiration(query, wasted_work=0.0)
                 if self._telemetry is not None:
                     self._telemetry.on_expired(query, now=now)
+                if self._pool is not None:
+                    self._pool.release(query)
                 continue
             query.dequeued_at = now
             self.queue_view.on_dequeue(query.qtype)
             wait = query.wait_time or 0.0
             self.policy.on_dequeued(query, wait)
             if self._telemetry is not None:
-                self._telemetry.on_dequeue(query, now=now)
+                self._telemetry.on_dequeue(query, now=now,
+                                           defer=self._tele_batch)
             self._account_busy()
             self._idle -= 1
             service = (query.service_time
@@ -292,12 +328,22 @@ class SimulatedServer:
                 service = self._faults.shape_service(service, query, now,
                                                      self._host)
                 errored = self._faults.should_error(query, now, self._host)
-            self._sim.schedule_after(
-                service, lambda q=query, e=errored: self._complete(q, e))
+            if errored:
+                self._sim.schedule_after(
+                    service, lambda q=query: self._complete(q, True))
+            else:
+                # Handle-free scheduling: completions are never cancelled,
+                # so skip the ScheduledEvent allocation and the closure.
+                self._sim._schedule_call(now + service, self._complete_ok,
+                                         query)
 
     def _resume_after_stall(self) -> None:
         self._stall_wakeup_at = None
         self._dispatch()
+
+    def _complete_ok(self, query: Query) -> None:
+        """Non-errored completion callback for the handle-free hot path."""
+        self._complete(query, False)
 
     def _complete(self, query: Query, errored: bool = False) -> None:
         now = self._sim.now
@@ -321,7 +367,24 @@ class SimulatedServer:
         if self._telemetry is not None:
             if errored:
                 self._telemetry.span_mark_fault(query, "engine_error", now)
-            self._telemetry.on_completion(query, now=now, errored=errored)
+            self._telemetry.on_completion(query, now=now, errored=errored,
+                                          defer=self._tele_batch)
         self._account_busy()
         self._idle += 1
+        if self._pool is not None:
+            self._pool.release(query)
         self._dispatch()
+        batch = self._tele_batch
+        if batch is not None and (self._idle == self.parallelism
+                                  or batch.pending >= _TELE_FLUSH):
+            batch.flush()
+
+    def flush_telemetry(self) -> None:
+        """Apply telemetry updates still buffered in the deferred batch.
+
+        The host flushes on its own at every full drain (all engines
+        idle) and at the buffer threshold; call this before scraping the
+        registry of a run stopped mid-flight (``run(until=...)``).
+        """
+        if self._tele_batch is not None:
+            self._tele_batch.flush()

@@ -34,7 +34,7 @@ from .calibration import (DEFAULT_MAX_PENDING, DEFAULT_WINDOW,
                           render_calibration_report)
 from .http import (CHROME_TRACE_CONTENT_TYPE, METRICS_CONTENT_TYPE,
                    TRACES_CONTENT_TYPE, TelemetryHTTPServer)
-from .hub import Telemetry
+from .hub import Telemetry, TelemetryBatch
 from .registry import (DEFAULT_PREFIX, EXPOSITION_LAYOUT, MetricFamily,
                        MetricsRegistry, escape_help, escape_label_value)
 from .report import (TraceSummary, TypeTraceSummary, render_trace_report,
@@ -65,6 +65,7 @@ __all__ = [
     "SpanRecorder",
     "TRACES_CONTENT_TYPE",
     "Telemetry",
+    "TelemetryBatch",
     "TelemetryHTTPServer",
     "TraceEvent",
     "TraceSummary",

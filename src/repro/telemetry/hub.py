@@ -50,6 +50,70 @@ def _unwrap_bouncer(policy: Optional[AdmissionPolicy]
     return policy if isinstance(policy, BouncerPolicy) else None
 
 
+class TelemetryBatch:
+    """Deferred registry updates, flushed through ``add_many``.
+
+    The metric-point hooks accept ``defer=<batch>`` to buffer their
+    counter increments and histogram observations here instead of taking
+    the child lock per event; :meth:`flush` applies everything in one
+    :meth:`~repro.telemetry.registry.MetricsRegistry.add_many` pass.
+    Deferral never changes what the registry ends up containing — counter
+    sums are commutative and each histogram child receives its values in
+    recorded order, so bucket counts *and* the rendered value sums are
+    identical to the unbuffered path.  Only scrape freshness changes: a
+    render between buffer and flush can run up to the buffer's depth
+    behind.  Hosts bound that lag (the simulated server flushes whenever
+    its engines all go idle or the buffer tops 512 entries; the runtime
+    server flushes at the end of each ``submit_many`` burst).
+
+    Not thread-safe: one batch belongs to one recording thread.  Events
+    that must stay per-query and in order (trace events, span
+    transitions, calibration joins, gauge sets) are never deferred.
+    """
+
+    __slots__ = ("_registry", "_counters", "_histograms", "pending")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        # id(child) -> [child, payload]; identity-keyed so distinct label
+        # sets of one family never collide and lookup skips __eq__.
+        self._counters: dict = {}
+        self._histograms: dict = {}
+        #: Buffered updates not yet flushed (hosts use this for thresholds).
+        self.pending = 0
+
+    def inc(self, child: Any, amount: float = 1.0) -> None:
+        """Buffer a counter/gauge increment."""
+        slot = self._counters.get(id(child))
+        if slot is None:
+            self._counters[id(child)] = [child, amount]
+        else:
+            slot[1] += amount
+        self.pending += 1
+
+    def observe(self, child: Any, value: float) -> None:
+        """Buffer one histogram observation (per-child order preserved)."""
+        slot = self._histograms.get(id(child))
+        if slot is None:
+            self._histograms[id(child)] = [child, [value]]
+        else:
+            slot[1].append(value)
+        self.pending += 1
+
+    def flush(self) -> None:
+        """Apply all buffered updates to the registry and empty the batch."""
+        if not self.pending:
+            return
+        updates = [(child, payload)
+                   for child, payload in self._counters.values()]
+        updates.extend((child, values)
+                       for child, values in self._histograms.values())
+        self._registry.add_many(updates)
+        self._counters.clear()
+        self._histograms.clear()
+        self.pending = 0
+
+
 class Telemetry:
     """Registry + optional tracer/spans/calibration, stamped with this
     host's name.
@@ -151,6 +215,11 @@ class Telemetry:
                          host=host, spans=self.spans,
                          calibration=self.calibration)
 
+    def batch(self) -> TelemetryBatch:
+        """A new deferred-update buffer bound to this registry (pass it as
+        the hooks' ``defer`` argument, flush at a drain boundary)."""
+        return TelemetryBatch(self.registry)
+
     # -- convenience readers (the runtime server's counter properties) ----
     @property
     def policy_error_count(self) -> int:
@@ -197,15 +266,30 @@ class Telemetry:
     # -- metric-point hooks ------------------------------------------------
     def on_decision(self, query: Query, result: AdmissionResult,
                     now: float, queue_length: int = 0,
-                    policy: Optional[AdmissionPolicy] = None) -> None:
-        """Point 1: an admission verdict was produced for ``query``."""
+                    policy: Optional[AdmissionPolicy] = None,
+                    defer: Optional[TelemetryBatch] = None) -> None:
+        """Point 1: an admission verdict was produced for ``query``.
+
+        ``defer`` buffers the accepted/rejected counter increment in a
+        :class:`TelemetryBatch` instead of taking the child lock here;
+        everything order-sensitive (gauges, traces, spans, calibration)
+        still happens inline.
+        """
         qtype = query.qtype
         if result.accepted:
-            self._accepted.labels(host=self.host, qtype=qtype).inc()
+            child = self._accepted.labels(host=self.host, qtype=qtype)
+            if defer is None:
+                child.inc()
+            else:
+                defer.inc(child)
         else:
             reason = result.reason.value if result.reason else "unknown"
-            self._rejected.labels(host=self.host, qtype=qtype,
-                                  reason=reason).inc()
+            child = self._rejected.labels(host=self.host, qtype=qtype,
+                                          reason=reason)
+            if defer is None:
+                child.inc()
+            else:
+                defer.inc(child)
         if result.estimates:
             for percentile, value in result.estimates.items():
                 self._ert_gauge.labels(host=self.host, qtype=qtype,
@@ -282,11 +366,16 @@ class Telemetry:
             self._eq2_recomputes.labels(host=self.host).inc(
                 recomputes - seen[2])
 
-    def on_dequeue(self, query: Query, now: float) -> None:
+    def on_dequeue(self, query: Query, now: float,
+                   defer: Optional[TelemetryBatch] = None) -> None:
         """Point 2: an engine process pulled ``query`` from the queue."""
         wait = query.wait_time or 0.0
-        self._queue_wait.labels(host=self.host,
-                                qtype=query.qtype).observe(wait)
+        wait_child = self._queue_wait.labels(host=self.host,
+                                             qtype=query.qtype)
+        if defer is None:
+            wait_child.observe(wait)
+        else:
+            defer.observe(wait_child, wait)
         tracer = self.tracer
         if tracer is not None and tracer.sampled(query.query_id):
             tracer.record(TraceEvent(
@@ -298,15 +387,21 @@ class Telemetry:
         self.span_dequeue(query, now)
 
     def on_completion(self, query: Query, now: float,
-                      errored: bool = False) -> None:
+                      errored: bool = False,
+                      defer: Optional[TelemetryBatch] = None) -> None:
         """Point 3: ``query`` finished; its response is about to ship."""
         qtype = query.qtype
         processing = query.processing_time or 0.0
         response = query.response_time or 0.0
-        self._processing.labels(host=self.host,
-                                qtype=qtype).observe(processing)
-        self._response.labels(host=self.host,
-                              qtype=qtype).observe(response)
+        processing_child = self._processing.labels(host=self.host,
+                                                   qtype=qtype)
+        response_child = self._response.labels(host=self.host, qtype=qtype)
+        if defer is None:
+            processing_child.observe(processing)
+            response_child.observe(response)
+        else:
+            defer.observe(processing_child, processing)
+            defer.observe(response_child, response)
         tracer = self.tracer
         if tracer is not None and tracer.sampled(query.query_id):
             tracer.record(TraceEvent(

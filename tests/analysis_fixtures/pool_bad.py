@@ -1,0 +1,27 @@
+"""Deliberate pool-discipline violations (lint fixture; never imported)."""
+
+
+def use_after_release(pool, query, sink):
+    pool.release(query)
+    sink.append(query.qtype)  # line 6: read after release
+
+
+def double_release(pool, query):
+    pool.release(query)
+    pool.release(query)  # line 11: second release
+
+
+def released_then_returned(query_pool, query):
+    query_pool.release(query)
+    return query  # line 16: handing out a recycled object
+
+
+def attribute_pool_use_after(self_like, query):
+    self_like._query_pool.release(query)
+    query.completed_at = 1.0  # line 21: mutates a recycled object
+
+
+def poisoned_into_branch(pool, query, flag):
+    pool.release(query)
+    if flag:
+        pool.release(query)  # line 27: conditional second release

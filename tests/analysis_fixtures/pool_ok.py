@@ -1,0 +1,33 @@
+"""Disciplined pool usage the pool-discipline rule must not flag
+(lint fixture; never imported)."""
+
+
+def release_is_terminal(pool, query, sink):
+    sink.append(query.qtype)  # use first, release last
+    pool.release(query)
+
+
+def conditional_release_separate_paths(pool, query, sink):
+    # The release is confined to its branch; the other path still owns
+    # the query.
+    if pool is not None:
+        pool.release(query)
+    else:
+        sink.append(query.qtype)
+
+
+def rebinding_clears_the_poison(pool, query):
+    pool.release(query)
+    query = pool.acquire("fast")
+    return query.qtype
+
+
+def loop_target_rebinds_each_iteration(pool, queries):
+    for query in queries:
+        query.service_time = None
+        pool.release(query)
+
+
+def lock_release_is_out_of_scope(lock, query, sink):
+    lock.release()
+    sink.append(query)

@@ -1,0 +1,183 @@
+"""Tests for the BENCH_04 event-engine bench (``repro bench --sim``)."""
+
+import json
+
+import pytest
+
+from repro.bench.sim_perf import (BENCH04_ID, PRE_PR_REFERENCE,
+                                  SIM_GATE_KEYS, SimBenchScale,
+                                  bench_event_storm, bench_fig06,
+                                  bench_sim_differential,
+                                  check_sim_baseline, profile_fig06,
+                                  render_sim_summary, run_sim_bench,
+                                  write_sim_results)
+from repro.cli import main
+
+#: Small enough for unit tests: the explicit warm-up override sidesteps
+#: the driver's two-seconds-of-traffic floor (~36k queries at the
+#: reference rate).
+TINY = SimBenchScale(storm_events=2_000, storm_rounds=1,
+                     fig06_queries=300, fig06_rounds=1, fig06_warmup=200,
+                     cluster_queries=80, cluster_warmup=80,
+                     diff_queries=200)
+
+
+class TestRunSimBench:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return run_sim_bench(TINY, mode="tiny")
+
+    def test_document_shape(self, document):
+        assert document["bench_id"] == BENCH04_ID
+        assert document["mode"] == "tiny"
+        for key in ("storm_events_per_sec", "storm_classic_events_per_sec",
+                    "fig06_offered_qps", "fig06_wall_seconds",
+                    "fig06_completed", "cluster_offered_qps",
+                    "fig06_vs_pre_pr", "storm_vs_pre_pr"):
+            assert document[key] > 0, key
+        # A tiny cell may reject nothing; the key must still be present.
+        assert document["fig06_rejected"] >= 0
+
+    def test_frozen_reference_is_embedded(self, document):
+        assert document["pre_pr_reference"] == PRE_PR_REFERENCE
+        # The honest ratio divides by the frozen constant, nothing else.
+        assert document["fig06_vs_pre_pr"] == pytest.approx(
+            document["fig06_offered_qps"]
+            / PRE_PR_REFERENCE["fig06_offered_qps"])
+
+    def test_differential_arms_are_bit_identical(self, document):
+        arms = document["differential_identical"]
+        assert set(arms) == {"legacy", "classic_heap", "no_numpy"}
+        assert all(arms.values())
+
+    def test_counts_are_consistent(self, document):
+        assert (document["fig06_completed"] + document["fig06_rejected"]
+                <= document["fig06_num_queries"])
+
+    def test_write_results(self, document, tmp_path):
+        out = tmp_path / "BENCH_04.json"
+        assert write_sim_results(document, str(out)) == [str(out)]
+        assert json.loads(out.read_text())["bench_id"] == BENCH04_ID
+
+    def test_summary_mentions_every_arm(self, document):
+        summary = render_sim_summary(document)
+        assert "event storm" in summary
+        assert "fig06 cell" in summary
+        assert "all bit-identical" in summary
+        assert "cluster cell" in summary
+        assert "pre-PR" in summary
+
+
+class TestBenchPieces:
+    def test_storm_reports_both_engines(self):
+        payload = bench_event_storm(1_000, rounds=1)
+        assert payload["storm_events_per_sec"] > 0
+        assert payload["storm_classic_events_per_sec"] > 0
+        assert payload["storm_calendar_vs_classic"] > 0
+
+    def test_fig06_counts_match_report(self):
+        payload = bench_fig06(300, seed=7, rounds=1, warmup_queries=200)
+        assert payload["fig06_offered"] == 500
+        assert (payload["fig06_completed"] + payload["fig06_rejected"]
+                <= 300)
+
+    def test_differential_restores_env_and_numpy(self):
+        import os
+
+        import repro.sim.workload as workload
+        saved_np = workload._np
+        assert "REPRO_CLASSIC_HEAP" not in os.environ
+        payload = bench_sim_differential(150, seed=7, warmup_queries=100)
+        assert all(payload["differential_identical"].values())
+        assert workload._np is saved_np
+        assert "REPRO_CLASSIC_HEAP" not in os.environ
+
+
+class TestSimBaselineGate:
+    CLEAN = {"differential_identical": {"legacy": True,
+                                        "classic_heap": True,
+                                        "no_numpy": True},
+             "fig06_offered_qps": 100.0}
+
+    def test_clean_document_passes_without_baseline(self):
+        assert check_sim_baseline(dict(self.CLEAN)) == []
+
+    def test_mismatch_fails_unconditionally(self):
+        doc = dict(self.CLEAN)
+        doc["differential_identical"] = {"legacy": False,
+                                         "classic_heap": True,
+                                         "no_numpy": True}
+        problems = check_sim_baseline(doc)
+        assert len(problems) == 1
+        assert "NOT bit-identical" in problems[0]
+
+    def test_regression_detected(self):
+        problems = check_sim_baseline(
+            dict(self.CLEAN), {"fig06_offered_qps": 200.0},
+            tolerance=0.30)
+        assert len(problems) == 1
+        assert "fig06_offered_qps" in problems[0]
+
+    def test_within_tolerance_passes(self):
+        assert check_sim_baseline(dict(self.CLEAN),
+                                  {"fig06_offered_qps": 120.0},
+                                  tolerance=0.30) == []
+
+    def test_missing_keys_ignored(self):
+        assert check_sim_baseline(dict(self.CLEAN), {}) == []
+        assert SIM_GATE_KEYS == ("fig06_offered_qps",)
+
+
+class TestProfile:
+    def test_profile_writes_stats_and_returns_text(self, tmp_path):
+        import pstats
+        out = tmp_path / "fig06.prof"
+        text = profile_fig06(150, str(out), seed=7, top=10,
+                             warmup_queries=100)
+        assert out.exists()
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+        assert "cumulative" in text
+
+
+class TestSimBenchCLI:
+    @pytest.fixture(autouse=True)
+    def tiny_scales(self, monkeypatch):
+        from repro.bench import sim_perf
+        monkeypatch.setitem(sim_perf.SIM_SCALES, "quick", TINY)
+
+    def test_sim_flag_writes_bench04(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_04.json"
+        code = main(["bench", "--sim", "--quick", "--sim-out", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["bench_id"] == BENCH04_ID
+        assert doc["mode"] == "quick"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_sim_baseline_gate(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"fig06_offered_qps": 1e12}))
+        args = ["bench", "--sim", "--quick",
+                "--sim-out", str(tmp_path / "BENCH_04.json"),
+                "--sim-baseline", str(baseline)]
+        assert main(args) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        baseline.write_text(json.dumps({"fig06_offered_qps": 1.0}))
+        assert main(args) == 0
+        assert "BENCH_04 baseline check passed" in capsys.readouterr().out
+
+    def test_profile_writes_pstats_file(self, tmp_path, capsys):
+        profile_out = tmp_path / "fig06.prof"
+        code = main(["bench", "--sim", "--quick",
+                     "--sim-out", str(tmp_path / "BENCH_04.json"),
+                     "--profile", str(profile_out)])
+        assert code == 0
+        assert profile_out.exists()
+        assert "cumulative" in capsys.readouterr().out
+
+    def test_profile_without_sim_is_an_error(self, tmp_path, capsys):
+        code = main(["bench", "--quick",
+                     "--profile", str(tmp_path / "x.prof")])
+        assert code == 2
+        assert "--profile requires --sim" in capsys.readouterr().err

@@ -1,0 +1,278 @@
+"""Differential battery for the two-tier event engine (PR 10).
+
+The calendar-queue engine must pop events in *exactly* the ``(when,
+seq)`` total order of the classic binary heap it replaced, under every
+interleaving of scheduling, cancellation, and stepping — that is the
+invariant every bit-identity claim downstream (chunked workloads,
+batched admission, pooling) rests on.  The hypothesis battery here
+drives both engines through identical random op scripts; the
+end-to-end guards hold a full Figure-6-style run to report equality
+across every engine/workload/batching knob, including the
+``REPRO_CLASSIC_HEAP`` and ``REPRO_NO_NUMPY`` escape hatches.
+"""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Query, QueryPool
+from repro.sim.simulator import Simulator
+from repro.sim.workload import ArrivalSchedule, WorkloadMix
+
+
+def _lockstep_worlds():
+    return Simulator(classic_heap=False), Simulator(classic_heap=True)
+
+
+#: One op is (kind, payload); payloads are drawn small so schedules stay
+#: dense enough for buckets, cancellations, and window advances to all
+#: occur within a script.
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("at"), st.floats(min_value=0.0, max_value=5.0,
+                                           allow_nan=False)),
+        st.tuples(st.just("after"), st.floats(min_value=0.0, max_value=0.5,
+                                              allow_nan=False)),
+        st.tuples(st.just("call"), st.floats(min_value=0.0, max_value=2.0,
+                                             allow_nan=False)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0,
+                                                 max_value=40)),
+        st.tuples(st.just("step"), st.integers(min_value=1, max_value=8)),
+    ),
+    min_size=1, max_size=60)
+
+
+class TestSchedulerEquivalence:
+    """Calendar engine vs classic heap: identical pop sequences."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(ops=_OPS)
+    def test_identical_pop_sequences(self, ops):
+        calendar, classic = _lockstep_worlds()
+        fired = {id(calendar): [], id(classic): []}
+        handles = {id(calendar): [], id(classic): []}
+
+        def run_script(sim):
+            log = fired[id(sim)]
+            pending_handles = handles[id(sim)]
+            for kind, payload in ops:
+                if kind == "at":
+                    when = sim.now + payload
+                    pending_handles.append(sim.schedule_at(
+                        when,
+                        lambda s=sim, w=when: log.append(("at", w, s.now))))
+                elif kind == "after":
+                    pending_handles.append(sim.schedule_after(
+                        payload, lambda s=sim: log.append(("after", s.now))))
+                elif kind == "call":
+                    when = sim.now + payload
+                    sim._schedule_call(when, log.append, ("call", when))
+                elif kind == "cancel":
+                    if pending_handles:
+                        pending_handles[payload
+                                        % len(pending_handles)].cancel()
+                elif kind == "step":
+                    for _ in range(payload):
+                        if not sim.step():
+                            break
+            sim.run()
+
+        run_script(calendar)
+        run_script(classic)
+        assert fired[id(calendar)] == fired[id(classic)]
+        # repro: allow=no-simtime-float-eq (bit-identity: exact same float)
+        assert calendar.now == classic.now
+        assert calendar.events_processed == classic.events_processed
+
+    @settings(max_examples=60, deadline=None)
+    @given(whens=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                    allow_nan=False),
+                          min_size=1, max_size=200),
+           seed=st.integers(min_value=0, max_value=2**16))
+    def test_same_timestamp_ties_resolve_by_seq(self, whens, seed):
+        # Duplicate some timestamps deliberately: ties must fire in
+        # scheduling order on both engines.
+        rng = random.Random(seed)
+        whens = whens + [rng.choice(whens) for _ in range(len(whens) // 2)]
+        calendar, classic = _lockstep_worlds()
+        order = {id(calendar): [], id(classic): []}
+        for sim in (calendar, classic):
+            log = order[id(sim)]
+            for tag, when in enumerate(whens):
+                sim._schedule_call(when, log.append, (when, tag))
+            sim.run()
+        assert order[id(calendar)] == order[id(classic)]
+        # Non-decreasing in time; equal timestamps keep scheduling order.
+        popped = order[id(calendar)]
+        assert all(a[0] <= b[0] for a, b in zip(popped, popped[1:]))
+        assert all(a[1] < b[1] for a, b in zip(popped, popped[1:])
+                   if a[0] == b[0])
+
+    def test_run_until_stops_identically(self):
+        calendar, classic = _lockstep_worlds()
+        for sim in (calendar, classic):
+            log = []
+            for when in (0.5, 1.0, 1.5, 2.5):
+                sim._schedule_call(when, log.append, when)
+            sim.run(until=1.5)
+            assert log == [0.5, 1.0, 1.5]
+            # repro: allow=no-simtime-float-eq (until= pins the exact bound)
+            assert sim.now == 1.5
+            assert sim.pending == 1
+
+
+class TestQueryPool:
+    def test_acquire_resets_every_slot_and_refreshes_id(self):
+        pool = QueryPool()
+        query = pool.acquire("edge", arrival_time=1.0, payload="p")
+        query.enqueued_at = 1.0
+        query.dequeued_at = 2.0
+        query.completed_at = 3.0
+        query.service_time = 0.5
+        query.span_ctx = object()
+        old_id = query.query_id
+        pool.release(query)
+        recycled = pool.acquire("bulk", arrival_time=9.0)
+        # repro: allow=pool-discipline (this test IS the recycling contract)
+        assert recycled is query
+        assert recycled.qtype == "bulk"
+        assert recycled.arrival_time == 9.0
+        assert recycled.payload is None
+        assert recycled.deadline is None
+        assert recycled.enqueued_at is None
+        assert recycled.dequeued_at is None
+        assert recycled.completed_at is None
+        assert recycled.service_time is None
+        assert recycled.span_ctx is None
+        assert recycled.query_id > old_id
+
+    def test_capacity_bounds_the_free_list(self):
+        pool = QueryPool(capacity=2)
+        queries = [pool.acquire("t") for _ in range(3)]
+        for query in queries:
+            pool.release(query)
+        assert len(pool) == 2
+        assert pool.allocated == 3
+
+    def test_counters_track_recycling(self):
+        pool = QueryPool()
+        first = pool.acquire("t")
+        pool.release(first)
+        pool.acquire("t")
+        assert pool.allocated == 1
+        assert pool.recycled == 1
+
+
+def _mix():
+    from repro.sim.workload import QueryTypeSpec
+
+    return WorkloadMix([
+        QueryTypeSpec("fast", 0.6, mu=math.log(0.01), sigma=0.4),
+        QueryTypeSpec("slow", 0.3, mu=math.log(0.05), sigma=0.7),
+        QueryTypeSpec("fixed", 0.1, mu=math.log(0.02), sigma=0.0),
+    ])
+
+
+class TestChunkedWorkloadEquivalence:
+    """``iter_chunks`` must replay the per-query RNG stream exactly."""
+
+    def _compare(self, burst, chunk_size, n=3000):
+        reference = ArrivalSchedule(_mix(), 500.0, seed=42, burst=burst)
+        chunked = ArrivalSchedule(_mix(), 500.0, seed=42, burst=burst)
+        ref_queries = []
+        for query in reference:
+            ref_queries.append(query)
+            if len(ref_queries) >= n:
+                break
+        new_queries = []
+        for chunk in chunked.iter_chunks(chunk_size):
+            new_queries.extend(chunk)
+            if len(new_queries) >= n:
+                break
+        for ref, new in zip(ref_queries, new_queries[:n]):
+            assert ref.qtype == new.qtype
+            assert ref.arrival_time == new.arrival_time
+            assert ref.payload == new.payload
+
+    def test_chunked_matches_per_query_stream(self):
+        self._compare(burst=1, chunk_size=256)
+
+    def test_chunked_matches_per_query_stream_bursty(self):
+        self._compare(burst=7, chunk_size=100)
+
+    def test_stdlib_fallback_is_identical(self, monkeypatch):
+        import repro.sim.workload as workload
+        chunked_np = ArrivalSchedule(_mix(), 500.0, seed=9)
+        with_numpy = []
+        for chunk in chunked_np.iter_chunks(128):
+            with_numpy.extend(chunk)
+            if len(with_numpy) >= 2000:
+                break
+        monkeypatch.setattr(workload, "_np", None)
+        chunked_py = ArrivalSchedule(_mix(), 500.0, seed=9)
+        without = []
+        for chunk in chunked_py.iter_chunks(128):
+            without.extend(chunk)
+            if len(without) >= 2000:
+                break
+        for a, b in zip(with_numpy[:2000], without[:2000]):
+            assert a.qtype == b.qtype
+            assert a.arrival_time == b.arrival_time
+            assert a.payload == b.payload
+
+    def test_pool_supplies_the_chunk_objects(self):
+        pool = QueryPool()
+        schedule = ArrivalSchedule(_mix(), 500.0, seed=3)
+        chunks = schedule.iter_chunks(64, pool=pool)
+        first = next(chunks)
+        recycle_me = first[0]
+        pool.release(recycle_me)
+        second = next(chunks)
+        # repro: allow=pool-discipline (asserting the pool recycles it)
+        assert recycle_me in second
+
+
+def _report_fingerprint(report):
+    return (report.policy_name, report.duration, report.utilization,
+            report.overall, dict(sorted(report.per_type.items())),
+            report.attainment)
+
+
+def _fig06_cell(**kwargs):
+    from repro.bench.experiments import make_bouncer, simulation_mix
+    from repro.sim.driver import run_simulation
+
+    return run_simulation(
+        simulation_mix(), make_bouncer(), rate_qps=4000.0,
+        num_queries=2500, parallelism=100, warmup_queries=1000, seed=11,
+        attainment_threshold=0.05, **kwargs)
+
+
+class TestEndToEndReportEquality:
+    """Figure-6 cell: every optimized path vs the historical seed path."""
+
+    def test_optimized_run_equals_legacy_run(self):
+        optimized = _fig06_cell()  # chunked + pooled + batched, calendar
+        legacy = _fig06_cell(chunked_workload=False, query_pooling=False,
+                             batched_admission=False)
+        assert _report_fingerprint(optimized) == _report_fingerprint(legacy)
+
+    def test_classic_heap_run_is_identical(self, monkeypatch):
+        optimized = _fig06_cell()
+        monkeypatch.setenv("REPRO_CLASSIC_HEAP", "1")
+        classic = _fig06_cell()
+        assert _report_fingerprint(optimized) == _report_fingerprint(classic)
+
+    def test_no_numpy_run_is_identical(self, monkeypatch):
+        import repro.sim.workload as workload
+        optimized = _fig06_cell()
+        monkeypatch.setattr(workload, "_np", None)
+        stdlib = _fig06_cell()
+        assert _report_fingerprint(optimized) == _report_fingerprint(stdlib)
+
+    def test_pooling_off_is_identical(self):
+        optimized = _fig06_cell()
+        unpooled = _fig06_cell(query_pooling=False)
+        assert _report_fingerprint(optimized) == _report_fingerprint(unpooled)

@@ -253,6 +253,32 @@ class TestShardEngine:
         assert engine.snapshot_syncs == 1
         assert engine.generation == 2
 
+    def test_packed_log_flushes_byte_identical_text(self, tmp_path):
+        # The decision log is packed into one bytearray as it grows; the
+        # flushed file must stay byte-for-byte the text the historical
+        # List[str] log produced, so the replay reader never changes.
+        spec = tiny_spec()
+        with SnapshotBoard.create(slots=4) as board:
+            engine = ShardEngine(spec, board, shard=0)
+            board.publish({"a": snapshot_with([0.01], epoch=1)})
+            bits = engine.decide_batch(["a", "b", "a"])
+            log_path = str(tmp_path / "log")
+            engine.flush_log(log_path)
+        with open(log_path, "rb") as handle:
+            raw = handle.read()
+        expected = "".join(
+            ["g 2\n"] + [f"d {qtype} {bit}\n"
+                         for qtype, bit in zip(["a", "b", "a"], bits)])
+        assert raw == expected.encode("utf-8")
+        assert raw.endswith(b"\n")
+
+    def test_empty_log_flushes_empty_file(self, tmp_path):
+        engine = ShardEngine(tiny_spec())
+        log_path = str(tmp_path / "log")
+        assert engine.flush_log(log_path) == 0
+        with open(log_path, "rb") as handle:
+            assert handle.read() == b""
+
     def test_policy_error_fails_open(self):
         engine = ShardEngine(tiny_spec())
         boom = {"count": 0}
